@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks: demand-access throughput of the cache model
+//! under each retention scheme.
+
+use cachesim::{AccessKind, CacheConfig, DataCache, Geometry, RetentionProfile, Scheme};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn access_stream(cache: &mut DataCache, n: u64) -> u64 {
+    let g = Geometry::paper_l1d();
+    let mut hits = 0u64;
+    for i in 0..n {
+        let cycle = i * 2;
+        let addr = g.address_of(i % 7, (i % 256) as u32);
+        let kind = if i % 5 == 0 { AccessKind::Store } else { AccessKind::Load };
+        if let Ok(r) = cache.access(cycle, addr, kind) {
+            hits += r.hit as u64;
+        }
+    }
+    hits
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access_10k");
+    let cases = [
+        ("ideal_6t", None),
+        ("no_refresh_lru", Some(Scheme::no_refresh_lru())),
+        ("partial_dsp", Some(Scheme::partial_refresh_dsp())),
+        ("rsp_fifo", Some(Scheme::rsp_fifo())),
+        ("global", Some(Scheme::global())),
+    ];
+    for (name, scheme) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cache = match scheme {
+                    None => DataCache::ideal(),
+                    Some(s) => DataCache::new(
+                        CacheConfig::paper(s),
+                        RetentionProfile::uniform_cycles(30_000, 1024),
+                    ),
+                };
+                black_box(access_stream(&mut cache, 10_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbenchmarks: Monte-Carlo chip sampling cost (the
+//! dominant setup cost of the distribution figures).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vlsi::cell6t::CellSize;
+use vlsi::montecarlo::ChipFactory;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+
+fn bench_chip_products(c: &mut Criterion) {
+    let factory = ChipFactory::new(TechNode::N32, VariationCorner::Severe.params(), 1);
+
+    c.bench_function("chip_line_retentions_1024", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let chip = factory.chip(i % 64);
+            black_box(chip.line_retentions())
+        })
+    });
+
+    c.bench_function("chip_worst_6t_access", |b| {
+        let chip = factory.chip(0);
+        b.iter(|| black_box(chip.worst_6t_access(CellSize::X1)))
+    });
+
+    c.bench_function("chip_leakage_pair", |b| {
+        let chip = factory.chip(0);
+        b.iter(|| {
+            black_box((chip.leakage_6t(CellSize::X1), chip.leakage_3t1d()))
+        })
+    });
+
+    c.bench_function("chip_word_retention_map_8", |b| {
+        let chip = factory.chip(0);
+        b.iter(|| black_box(chip.word_retention_map(8)))
+    });
+}
+
+criterion_group!(benches, bench_chip_products);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion microbenchmarks: simulated instructions per second of the
+//! out-of-order pipeline over the synthetic workloads.
+
+use cachesim::DataCache;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use uarch::sim::simulate;
+use workloads::{SpecBenchmark, SyntheticTrace};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_20k_instrs");
+    group.throughput(Throughput::Elements(20_000));
+    for bench in [SpecBenchmark::Gzip, SpecBenchmark::Mcf, SpecBenchmark::Mesa] {
+        group.bench_function(bench.to_string(), |b| {
+            b.iter(|| {
+                let mut trace = SyntheticTrace::new(bench.profile(), 1);
+                let mut cache = DataCache::ideal();
+                black_box(simulate(&mut trace, &mut cache, 20_000, 0.0))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks isolating the ablation-relevant costs: RSP
+//! shuffles, the line-refresh engine, and retention-profile construction.
+
+use cachesim::{AccessKind, CacheConfig, DataCache, Geometry, RefreshPolicy, ReplacementPolicy, RetentionProfile, Scheme};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use t3cache::sensitivity::synthetic_profile;
+
+fn bench_rsp_shuffle(c: &mut Criterion) {
+    // Conflict-heavy stream in one set maximizes shuffle work.
+    c.bench_function("rsp_fifo_conflict_set_2k", |b| {
+        b.iter(|| {
+            let mut cache = DataCache::new(
+                CacheConfig::paper(Scheme::rsp_fifo()),
+                RetentionProfile::uniform_cycles(50_000, 1024),
+            );
+            let g = Geometry::paper_l1d();
+            for i in 0..2_000u64 {
+                let addr = g.address_of(i % 6, 3);
+                let _ = cache.access(i * 3, addr, AccessKind::Load);
+            }
+            black_box(cache.stats().line_moves)
+        })
+    });
+}
+
+fn bench_refresh_engine(c: &mut Criterion) {
+    c.bench_function("full_refresh_steady_state_2k", |b| {
+        b.iter(|| {
+            let mut cache = DataCache::new(
+                CacheConfig::paper(Scheme::new(RefreshPolicy::Full, ReplacementPolicy::Lru)),
+                RetentionProfile::uniform_cycles(30_000, 1024),
+            );
+            let g = Geometry::paper_l1d();
+            for i in 0..2_000u64 {
+                let addr = g.address_of(1, (i % 256) as u32);
+                let _ = cache.access(i * 10, addr, AccessKind::Load);
+            }
+            black_box(cache.stats().refreshes)
+        })
+    });
+}
+
+fn bench_profile_construction(c: &mut Criterion) {
+    c.bench_function("synthetic_profile_1024", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(synthetic_profile(10_000, 0.25, 1024, seed))
+        })
+    });
+}
+
+criterion_group!(benches, bench_rsp_shuffle, bench_refresh_engine, bench_profile_construction);
+criterion_main!(benches);

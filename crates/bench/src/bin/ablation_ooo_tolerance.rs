@@ -1,0 +1,87 @@
+//! §4.2's architectural claim, isolated: "out-of-order processors can
+//! tolerate large retention time variations".
+//!
+//! Runs the same 3T1D chips under the same schemes on the Table 2 machine
+//! with out-of-order vs strictly in-order issue, and compares how much
+//! performance each machine loses to retention effects (expiry misses,
+//! refresh port stealing, dead-line replays). Each machine is normalized
+//! against its *own* ideal-6T baseline, so the comparison isolates
+//! retention tolerance from raw ILP.
+
+use bench_harness::{banner, compare, RunScale};
+use cachesim::Scheme;
+use t3cache::chip::{ChipGrade, ChipPopulation};
+use t3cache::evaluate::{EvalConfig, Evaluator};
+use uarch::MachineConfig;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+use workloads::SpecBenchmark;
+
+fn main() {
+    let scale = RunScale::detect();
+    banner(
+        "Ablation: out-of-order tolerance",
+        "retention losses on OoO vs in-order issue (severe, 32 nm)",
+    );
+    let pop = ChipPopulation::generate(
+        TechNode::N32,
+        VariationCorner::Severe.params(),
+        scale.sim_chips.max(40),
+        20_250,
+    );
+
+    let base_cfg = EvalConfig {
+        benchmarks: vec![
+            SpecBenchmark::Gzip,
+            SpecBenchmark::Gcc,
+            SpecBenchmark::Mcf,
+            SpecBenchmark::Mesa,
+        ],
+        instructions: scale.instructions,
+        warmup: scale.warmup,
+        ..EvalConfig::default()
+    };
+
+    println!(
+        "{:<10} {:<22} {:>12} {:>12} {:>14}",
+        "chip", "scheme", "OoO perf", "in-order", "extra loss (IO)"
+    );
+    let mut worst_gap = 0.0f64;
+    for grade in [ChipGrade::Median, ChipGrade::Bad] {
+        let chip = pop.select(grade);
+        for (name, scheme) in [
+            ("no-refresh/LRU", Scheme::no_refresh_lru()),
+            ("partial-refresh/DSP", Scheme::partial_refresh_dsp()),
+            ("RSP-FIFO", Scheme::rsp_fifo()),
+        ] {
+            let mut row = Vec::new();
+            for machine in [MachineConfig::TABLE2, MachineConfig::table2_in_order()] {
+                let eval = Evaluator::new(EvalConfig {
+                    machine,
+                    ..base_cfg.clone()
+                });
+                let ideal = eval.run_ideal(4);
+                let suite = eval.run_scheme(chip.retention_profile(), scheme, 4);
+                row.push(suite.normalized_performance(&ideal, 1.0));
+            }
+            let gap = row[0] - row[1];
+            worst_gap = worst_gap.max(gap);
+            println!(
+                "{:<10} {:<22} {:>12.3} {:>12.3} {:>14.3}",
+                grade.to_string(),
+                name,
+                row[0],
+                row[1],
+                gap
+            );
+        }
+    }
+    println!();
+    compare(
+        "largest extra retention loss on the in-order machine",
+        worst_gap,
+        ">0: OoO absorbs retention effects (the paper's §4.2 insight)",
+    );
+    println!("\neach column is normalized against that machine's own ideal-6T run,");
+    println!("so the gap measures *retention tolerance*, not raw ILP.");
+}

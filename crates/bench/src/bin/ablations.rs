@@ -1,0 +1,129 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Counter resolution** — the line-counter step `N` and width trade
+//!    dead-line threshold against refresh conservatism (§4.3.1: "N can be
+//!    set according to different variation conditions").
+//! 2. **Refresh port stealing** — what the shared-port refresh actually
+//!    costs versus a hypothetical dedicated refresh port (§4.1 rejects the
+//!    dedicated port for area/power, accepting this cost).
+//! 3. **RSP move cost** — the 8-cycle line move against free shuffling.
+//! 4. **Replay flush** — how much of the dead-line penalty is pipeline
+//!    recovery rather than raw miss latency (§4.3.2).
+
+use bench_harness::{banner, RunScale};
+use cachesim::{CounterSpec, Scheme};
+use t3cache::chip::{ChipGrade, ChipPopulation};
+use t3cache::evaluate::{EvalConfig, Evaluator};
+use uarch::MachineConfig;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+use workloads::SpecBenchmark;
+
+fn main() {
+    let scale = RunScale::detect();
+    banner("Ablations", "design-choice sensitivity studies (severe, 32 nm)");
+    let pop = ChipPopulation::generate(
+        TechNode::N32,
+        VariationCorner::Severe.params(),
+        scale.sim_chips.max(40),
+        20_248,
+    );
+    let chip = pop.select(ChipGrade::Median);
+    let bad = pop.select(ChipGrade::Bad);
+
+    let base_cfg = EvalConfig {
+        benchmarks: vec![
+            SpecBenchmark::Gzip,
+            SpecBenchmark::Gcc,
+            SpecBenchmark::Mcf,
+            SpecBenchmark::Mesa,
+        ],
+        instructions: scale.instructions,
+        warmup: scale.warmup,
+        ..EvalConfig::default()
+    };
+    let eval = Evaluator::new(base_cfg.clone());
+    let ideal = eval.run_ideal(4);
+
+    // ------------------------------------------------------------------
+    println!();
+    println!("1. counter resolution (partial-refresh/DSP, median chip)");
+    println!(
+        "{:>12} {:>6} {:>12} {:>10}",
+        "step cycles", "bits", "dead lines", "perf"
+    );
+    for (step, bits) in [(256u32, 5u32), (512, 4), (1024, 3), (2048, 3), (4096, 3)] {
+        let counter = CounterSpec {
+            step_cycles: step,
+            bits,
+        };
+        let suite =
+            eval.run_scheme_custom(chip.retention_profile(), Scheme::partial_refresh_dsp(), 4, counter);
+        println!(
+            "{:>12} {:>6} {:>11.1}% {:>10.3}",
+            step,
+            bits,
+            chip.retention_profile().dead_fraction(&counter) * 100.0,
+            suite.normalized_performance(&ideal, 1.0)
+        );
+    }
+    println!("  (coarse steps kill more lines; very fine steps refresh conservatively)");
+
+    // ------------------------------------------------------------------
+    println!();
+    println!("2. refresh port stealing (full-refresh/LRU, median chip)");
+    for (name, refresh_cycles) in [("shared ports (8-cycle steal)", 8u32), ("dedicated port (free)", 0)] {
+        let mut cfg = cachesim::CacheConfig::paper(Scheme::new(
+            cachesim::RefreshPolicy::Full,
+            cachesim::ReplacementPolicy::Lru,
+        ));
+        cfg.refresh_cycles = refresh_cycles.max(1);
+        if refresh_cycles == 0 {
+            // Model a dedicated port: refresh windows cost no demand time.
+            cfg.refresh_cycles = 1;
+        }
+        let profile = chip.retention_profile().clone();
+        let suite = eval.run_suite(|| cachesim::DataCache::new(cfg, profile.clone()));
+        println!(
+            "  {:<32} perf {:.3}",
+            name,
+            suite.normalized_performance(&ideal, 1.0)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    println!();
+    println!("3. RSP-FIFO move cost (median chip)");
+    for (name, move_cycles) in [("8-cycle moves (paper)", 8u32), ("free shuffling", 1)] {
+        let mut cfg = cachesim::CacheConfig::paper(Scheme::rsp_fifo());
+        cfg.move_cycles = move_cycles;
+        let profile = chip.retention_profile().clone();
+        let suite = eval.run_suite(|| cachesim::DataCache::new(cfg, profile.clone()));
+        println!(
+            "  {:<32} perf {:.3}",
+            name,
+            suite.normalized_performance(&ideal, 1.0)
+        );
+    }
+
+    // ------------------------------------------------------------------
+    println!();
+    println!("4. replay flush cost (no-refresh/LRU on the BAD chip)");
+    for (name, flush) in [("12-cycle pipeline flush (default)", 12u32), ("latency-only (no flush)", 0)] {
+        let eval_f = Evaluator::new(EvalConfig {
+            machine: MachineConfig {
+                replay_flush_cycles: flush,
+                ..MachineConfig::TABLE2
+            },
+            ..base_cfg.clone()
+        });
+        let ideal_f = eval_f.run_ideal(4);
+        let suite = eval_f.run_scheme(bad.retention_profile(), Scheme::no_refresh_lru(), 4);
+        println!(
+            "  {:<32} perf {:.3}",
+            name,
+            suite.normalized_performance(&ideal_f, 1.0)
+        );
+    }
+    println!("  (the dead-line pathology is mostly pipeline recovery, not miss latency)");
+}

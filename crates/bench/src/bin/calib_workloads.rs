@@ -1,0 +1,26 @@
+use cachesim::DataCache;
+use uarch::sim::simulate_warmed;
+use workloads::{SpecBenchmark, SyntheticTrace};
+
+fn main() {
+    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+    let mut ipcs = Vec::new();
+    for bench in SpecBenchmark::ALL {
+        let mut trace = SyntheticTrace::new(bench.profile(), 1);
+        let mut cache = DataCache::ideal();
+        let icache = trace.icache_miss_rate();
+        let (r, stats) = simulate_warmed(&mut trace, &mut cache, n / 2, n, icache);
+        let s = &stats;
+        let cdf = s.hit_age_cdf();
+        let at6k = cdf.get(5).map(|x| x.1).unwrap_or(0.0);
+        println!(
+            "{:8}: IPC {:.3}  missrate {:.4}  mispred {:.4}  refs/cyc {:.3}  cdf@6k {:.3}  l2miss/l1miss {:.2}",
+            bench.to_string(), r.ipc(), s.miss_rate(), r.mispredict_rate(),
+            s.accesses() as f64 / r.cycles as f64, at6k,
+            s.l2_misses as f64 / s.misses().max(1) as f64
+        );
+        ipcs.push(r.ipc());
+    }
+    let hm = ipcs.len() as f64 / ipcs.iter().map(|x| 1.0 / x).sum::<f64>();
+    println!("harmonic-mean IPC: {hm:.3}  (target ≈0.97; BIPS@4.3GHz = {:.2})", hm * 4.3);
+}

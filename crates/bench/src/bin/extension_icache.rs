@@ -1,0 +1,121 @@
+//! Extension: a 3T1D L1 *instruction* cache.
+//!
+//! The paper's intro claims dynamic cells suit "on-chip memory structures
+//! within the processor core such as register files and caches"; it
+//! evaluates only the D-cache. This experiment replays the instruction-
+//! fetch stream (the workload model's basic-block PCs) through the same
+//! retention-aware cache model configured as the Table 2 I-cache, on
+//! severely varied chips.
+//!
+//! Measured verdict: fetch blocks are re-referenced over *longer*
+//! timescales than the hot data (loop bodies return after whole program
+//! phases), so a retention-limited L1I loses a few percent of hit rate on
+//! varied chips — but every expiry recovery is a cheap read-only L2
+//! re-fetch, and the RSP/DSP machinery carries over unchanged.
+
+use bench_harness::{banner, compare, RunScale};
+use cachesim::{AccessKind, CacheConfig, CounterSpec, DataCache, RetentionProfile, Scheme};
+use t3cache::chip::{ChipGrade, ChipPopulation};
+use uarch::instr::TraceSource;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+use workloads::{SpecBenchmark, SyntheticTrace};
+
+/// Replays fetch-block transitions of `n` instructions through a cache,
+/// at ≈1.25 cycles per instruction. Returns (hit rate, expiry misses).
+fn run_fetch_stream(
+    cache: &mut DataCache,
+    bench: SpecBenchmark,
+    n: u64,
+) -> (f64, u64) {
+    let mut trace = SyntheticTrace::new(bench.profile(), 17);
+    let mut last_block = u64::MAX;
+    let mut cycle = 0u64;
+    for i in 0..n {
+        let instr = trace.next_instr();
+        cycle = i + i / 4; // ≈0.8 IPC fetch pacing
+        let block = instr.pc / 64;
+        if block != last_block {
+            last_block = block;
+            let _ = cache.access(cycle, instr.pc & !63, AccessKind::Load);
+        }
+    }
+    cache.advance(cycle + 1);
+    let s = cache.stats();
+    (
+        s.hits as f64 / s.accesses().max(1) as f64,
+        s.expiry_misses,
+    )
+}
+
+fn main() {
+    let scale = RunScale::detect();
+    banner(
+        "Extension: 3T1D instruction cache",
+        "fetch streams through retention-aware 64KB L1I (severe, 32 nm)",
+    );
+    let pop = ChipPopulation::generate(
+        TechNode::N32,
+        VariationCorner::Severe.params(),
+        scale.sim_chips.max(40),
+        20_251,
+    );
+    let chip = pop.select(ChipGrade::Median);
+    println!(
+        "median chip: {:.1}% dead lines, cache retention {:.0} ns",
+        chip.dead_fraction() * 100.0,
+        chip.cache_retention().ns()
+    );
+    println!();
+    println!(
+        "{:<8} {:>12} {:>14} {:>14} {:>12}",
+        "bench", "ideal hit%", "3T1D RSP hit%", "3T1D LRU hit%", "expiry (LRU)"
+    );
+
+    let n = scale.instructions * 2;
+    let mut worst_drop: f64 = 0.0;
+    for bench in [
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Crafty,
+        SpecBenchmark::Mesa,
+        SpecBenchmark::Mcf,
+    ] {
+        let mut ideal = DataCache::new(
+            CacheConfig::paper(Scheme::default()),
+            RetentionProfile::Infinite,
+        );
+        let (h_ideal, _) = run_fetch_stream(&mut ideal, bench, n);
+
+        let counter = CounterSpec::for_profile(chip.retention_profile());
+        let mut cfg = CacheConfig::paper(Scheme::rsp_fifo());
+        cfg.counter = counter;
+        let mut rsp = DataCache::new(cfg, chip.retention_profile().clone());
+        let (h_rsp, _) = run_fetch_stream(&mut rsp, bench, n);
+
+        let mut cfg = CacheConfig::paper(Scheme::no_refresh_lru());
+        cfg.counter = counter;
+        let mut lru = DataCache::new(cfg, chip.retention_profile().clone());
+        let (h_lru, expiry) = run_fetch_stream(&mut lru, bench, n);
+
+        worst_drop = worst_drop.max(h_ideal - h_rsp);
+        println!(
+            "{:<8} {:>11.2}% {:>13.2}% {:>13.2}% {:>12}",
+            bench.to_string(),
+            h_ideal * 100.0,
+            h_rsp * 100.0,
+            h_lru * 100.0,
+            expiry
+        );
+    }
+    println!();
+    compare(
+        "worst fetch hit-rate drop, RSP-FIFO vs ideal",
+        worst_drop,
+        "a few % — code returns after long phases",
+    );
+    println!("\nmeasured caveat to the paper's generality claim: code re-reference");
+    println!("intervals exceed the hot-data ages of Fig. 1, so an L1I built from");
+    println!("3T1D cells pays a few percent of fetch hit rate on varied chips.");
+    println!("The losses are benign (read-only lines: expiry costs one L2 re-fetch,");
+    println!("never a write-back) and RSP placement recovers part of the gap.");
+}

@@ -1,0 +1,62 @@
+//! Figure 6a: distribution of normalized chip frequency (= performance)
+//! for 6T caches under typical process variation, 1X and 2X cells.
+//!
+//! Paper shape: 1X 6T chips lose 10–20 % of frequency; even 2X-sized
+//! cells leave ≈20 % of chips ≈3 % slow.
+
+use bench_harness::{bar, banner, compare, RunScale};
+use vlsi::cell6t::CellSize;
+use vlsi::montecarlo::ChipFactory;
+use vlsi::stats::Histogram;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+
+fn main() {
+    let scale = RunScale::detect();
+    banner(
+        "Figure 6a",
+        "6T cache frequency distribution under typical variation (32 nm)",
+    );
+    let factory = ChipFactory::new(TechNode::N32, VariationCorner::Typical.params(), 20_240);
+
+    let mut h1 = Histogram::new(0.7625, 1.0625, 12); // 0.025-wide bins centered on paper ticks
+    let mut h2 = Histogram::new(0.7625, 1.0625, 12);
+    let mut sum1 = 0.0;
+    let mut sum2 = 0.0;
+    let mut slow2 = 0u32;
+    for i in 0..scale.mc_chips {
+        let chip = factory.chip(i);
+        let f1 = chip.frequency_multiplier_6t(CellSize::X1);
+        let f2 = chip.frequency_multiplier_6t(CellSize::X2);
+        h1.push(f1);
+        h2.push(f2);
+        sum1 += f1;
+        sum2 += f2;
+        if f2 < 0.99 {
+            slow2 += 1;
+        }
+    }
+    let n = scale.mc_chips as f64;
+
+    println!("{:>8} {:>10} {:>26} {:>10} {:>26}", "freq", "1X prob", "", "2X prob", "");
+    for i in 0..h1.counts().len() {
+        let f1 = h1.fractions()[i];
+        let f2 = h2.fractions()[i];
+        println!(
+            "{:>8.3} {:>10.3} {:<26} {:>10.3} {:<26}",
+            h1.bin_center(i),
+            f1,
+            bar(f1 / 0.5, 26),
+            f2,
+            bar(f2 / 0.5, 26)
+        );
+    }
+    println!();
+    compare("mean 1X 6T normalized frequency", sum1 / n, "0.80-0.90 (10-20% loss)");
+    compare("mean 2X 6T normalized frequency", sum2 / n, "~1.0");
+    compare(
+        "fraction of 2X chips below 0.99",
+        slow2 as f64 / n,
+        "~0.2 (20% of chips ~3% slow)",
+    );
+}

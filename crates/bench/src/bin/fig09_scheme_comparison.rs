@@ -1,0 +1,83 @@
+//! Figure 9: normalized performance of the eight line-level retention
+//! schemes on the good, median and bad chips under severe variation.
+//!
+//! Paper shape: LRU-only schemes suffer most on the bad chip (dead-line
+//! references); partial refresh buys 1–2 % over no-refresh; full refresh
+//! gives some of it back (~1 % blocking penalty); the intrinsic-refresh
+//! RSP schemes perform best.
+
+use bench_harness::{banner, compare, RunScale};
+use cachesim::Scheme;
+use t3cache::chip::{ChipGrade, ChipPopulation};
+use t3cache::evaluate::Evaluator;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+
+fn main() {
+    let scale = RunScale::detect();
+    banner(
+        "Figure 9",
+        "retention schemes on good/median/bad chips (severe, 32 nm)",
+    );
+    let pop = ChipPopulation::generate(
+        TechNode::N32,
+        VariationCorner::Severe.params(),
+        scale.sim_chips.max(40),
+        20_244,
+    );
+    let eval = Evaluator::new(scale.eval_config(TechNode::N32));
+    let ideal = eval.run_ideal(4);
+
+    let schemes = Scheme::figure9_schemes();
+    println!("{:<28} {:>8} {:>8} {:>8}", "scheme", "good", "median", "bad");
+    let mut results = Vec::new();
+    for scheme in &schemes {
+        let mut row = Vec::new();
+        for grade in [ChipGrade::Good, ChipGrade::Median, ChipGrade::Bad] {
+            let chip = pop.select(grade);
+            let suite = eval.run_scheme(chip.retention_profile(), *scheme, 4);
+            row.push(suite.normalized_performance(&ideal, 1.0));
+        }
+        println!(
+            "{:<28} {:>8.3} {:>8.3} {:>8.3}",
+            scheme.to_string(),
+            row[0],
+            row[1],
+            row[2]
+        );
+        results.push((scheme.to_string(), row));
+    }
+
+    println!();
+    let bad = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n.starts_with(name))
+            .map(|(_, r)| r[2])
+            .expect("scheme present")
+    };
+    compare(
+        "bad chip: DSP gain over plain LRU (no-refresh)",
+        bad("no-refresh/DSP") - bad("no-refresh/LRU"),
+        "large, dead-line avoidance",
+    );
+    compare(
+        "bad chip: RSP-FIFO vs no-refresh/LRU",
+        bad("RSP-FIFO") - bad("no-refresh/LRU"),
+        "RSP best overall",
+    );
+    compare(
+        "median chip: partial vs no refresh (DSP)",
+        results
+            .iter()
+            .find(|(n, _)| n.starts_with("partial-refresh") && n.ends_with("DSP"))
+            .map(|(_, r)| r[1])
+            .unwrap()
+            - results
+                .iter()
+                .find(|(n, _)| n == "no-refresh/DSP")
+                .map(|(_, r)| r[1])
+                .unwrap(),
+        "+0.01..0.02",
+    );
+}

@@ -1,0 +1,55 @@
+//! Table 1: circuit-simulation parameters per technology node, plus the
+//! derived electrical quantities the models use.
+
+use bench_harness::banner;
+use vlsi::tech::{thermal_voltage, TechNode};
+use vlsi::wire;
+
+fn main() {
+    banner("Table 1", "circuit parameters per technology node");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "parameter", "65nm", "45nm", "32nm"
+    );
+    let row = |name: &str, f: &dyn Fn(TechNode) -> String| {
+        println!(
+            "{:<26} {:>10} {:>10} {:>10}",
+            name,
+            f(TechNode::N65),
+            f(TechNode::N45),
+            f(TechNode::N32)
+        );
+    };
+    row("cell area (um^2)", &|n| format!("{:.2}", n.cell_area_um2()));
+    row("wire width (um)", &|n| format!("{:.2}", n.wire_width().um()));
+    row("wire thickness (um)", &|n| {
+        format!("{:.2}", n.wire_thickness().um())
+    });
+    row("oxide thickness (nm)", &|n| {
+        format!("{:.1}", n.oxide_thickness().nm())
+    });
+    row("chip frequency (GHz)", &|n| {
+        format!("{:.1}", n.chip_frequency().ghz())
+    });
+    println!();
+    println!("derived quantities (our models):");
+    row("supply voltage (V)", &|n| format!("{:.1}", n.vdd().volts()));
+    row("nominal Vth (V)", &|n| format!("{:.2}", n.vth_nominal().volts()));
+    row("clock period (ps)", &|n| {
+        format!("{:.1}", n.clock_period().ps())
+    });
+    row("6T array access (ps)", &|n| {
+        format!("{:.0}", n.sram_access_nominal().ps())
+    });
+    row("bitline length (um)", &|n| {
+        format!("{:.1}", wire::bitline(n, 256).length().um())
+    });
+    row("bitline cap (fF)", &|n| {
+        format!("{:.1}", wire::bitline_capacitance(n, 256).ff())
+    });
+    println!();
+    println!(
+        "simulation temperature: 80 C (thermal voltage {:.1} mV)",
+        thermal_voltage().mv()
+    );
+}

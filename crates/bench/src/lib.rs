@@ -1,0 +1,100 @@
+//! Shared harness utilities for the figure/table reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper. They share the scaling knobs (full vs `--quick` runs), text
+//! rendering helpers, and the paper-vs-measured annotation format.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use t3cache::evaluate::EvalConfig;
+use vlsi::tech::TechNode;
+
+/// Run-size knobs, honoring `--quick` (or `PV3T1D_QUICK=1`) for smoke runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunScale {
+    /// Monte-Carlo chips for distribution figures.
+    pub mc_chips: u32,
+    /// Chips receiving full performance simulation.
+    pub sim_chips: u32,
+    /// Measured instructions per benchmark.
+    pub instructions: u64,
+    /// Warmup instructions per benchmark.
+    pub warmup: u64,
+}
+
+impl RunScale {
+    /// Detects the scale from argv/env.
+    pub fn detect() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("PV3T1D_QUICK").map(|v| v == "1").unwrap_or(false);
+        if quick {
+            Self {
+                mc_chips: 40,
+                sim_chips: 10,
+                instructions: 40_000,
+                warmup: 20_000,
+            }
+        } else {
+            Self {
+                mc_chips: 400,
+                sim_chips: 100,
+                instructions: 150_000,
+                warmup: 75_000,
+            }
+        }
+    }
+
+    /// An evaluation config at this scale for a node.
+    pub fn eval_config(&self, node: TechNode) -> EvalConfig {
+        EvalConfig {
+            node,
+            instructions: self.instructions,
+            warmup: self.warmup,
+            ..EvalConfig::default()
+        }
+    }
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, title: &str) {
+    println!("=====================================================================");
+    println!("{id}: {title}");
+    println!("=====================================================================");
+}
+
+/// Prints a `measured vs paper` annotation line.
+pub fn compare(what: &str, measured: f64, paper: &str) {
+    println!("  {what:<52} measured {measured:>9.3}   (paper: {paper})");
+}
+
+/// Renders a unit-scaled ASCII bar.
+pub fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { ' ' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.5, 4), "##  ");
+        assert_eq!(bar(2.0, 4), "####");
+        assert_eq!(bar(-1.0, 4), "    ");
+    }
+
+    #[test]
+    fn scale_has_sane_defaults() {
+        let s = RunScale::detect();
+        assert!(s.mc_chips >= 40);
+        assert!(s.instructions >= 40_000);
+        let cfg = s.eval_config(TechNode::N32);
+        assert_eq!(cfg.benchmarks.len(), 8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the cache simulator: accounting invariants,
+//! data-integrity guarantees, and policy mechanics under random workloads.
+
+use cachesim::{
+    AccessKind, CacheConfig, CounterSpec, DataCache, Geometry, RefreshPolicy, ReplacementPolicy,
+    RetentionProfile, Scheme,
+};
+use proptest::prelude::*;
+
+/// A compact random access trace: (cycle gaps, set, tag, is_store).
+fn trace_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, bool)>> {
+    proptest::collection::vec((1u8..10, any::<u8>(), 0u8..12, any::<bool>()), 1..400)
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::no_refresh_lru()),
+        Just(Scheme::new(RefreshPolicy::None, ReplacementPolicy::Dsp)),
+        Just(Scheme::partial_refresh_dsp()),
+        Just(Scheme::new(RefreshPolicy::Full, ReplacementPolicy::Lru)),
+        Just(Scheme::rsp_fifo()),
+        Just(Scheme::rsp_lru()),
+    ]
+}
+
+fn retention_strategy() -> impl Strategy<Value = RetentionProfile> {
+    prop_oneof![
+        Just(RetentionProfile::Infinite),
+        (2_000u64..200_000).prop_map(|r| RetentionProfile::uniform_cycles(r, 1024)),
+        proptest::collection::vec(0u64..100_000, 1024)
+            .prop_map(RetentionProfile::PerLine),
+    ]
+}
+
+fn run_trace(
+    cache: &mut DataCache,
+    trace: &[(u8, u8, u8, bool)],
+) -> (u64, u64) {
+    let g = Geometry::paper_l1d();
+    let mut cycle = 0u64;
+    let mut granted = 0u64;
+    let mut hits = 0u64;
+    for &(gap, set, tag, is_store) in trace {
+        cycle += gap as u64;
+        let addr = g.address_of(tag as u64, set as u32 % g.sets());
+        let kind = if is_store {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        if let Ok(r) = cache.access(cycle, addr, kind) {
+            granted += 1;
+            hits += r.hit as u64;
+        }
+    }
+    (granted, hits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn accounting_identity_holds(trace in trace_strategy(),
+                                 scheme in scheme_strategy(),
+                                 profile in retention_strategy()) {
+        let cfg = CacheConfig::paper(scheme);
+        let mut cache = DataCache::new(cfg, profile);
+        let (granted, hits) = run_trace(&mut cache, &trace);
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses(), granted);
+        prop_assert_eq!(s.hits, hits);
+        prop_assert_eq!(s.hits + s.misses(), s.accesses());
+        prop_assert!(s.loads + s.stores == granted);
+    }
+
+    #[test]
+    fn immortal_lines_never_expire(trace in trace_strategy(), scheme in scheme_strategy()) {
+        let cfg = CacheConfig::paper(scheme);
+        let mut cache = DataCache::new(cfg, RetentionProfile::Infinite);
+        run_trace(&mut cache, &trace);
+        let s = cache.stats();
+        prop_assert_eq!(s.expiry_misses, 0);
+        prop_assert_eq!(s.refresh_overruns, 0);
+        prop_assert_eq!(s.all_ways_dead_misses, 0);
+        prop_assert_eq!(s.dead_way_events, 0);
+    }
+
+    #[test]
+    fn second_access_to_same_block_hits_when_fresh(set in 0u8..255, tag in 0u8..12,
+                                                   scheme in scheme_strategy()) {
+        // Any scheme, any healthy cache: immediate re-reference must hit.
+        let cfg = CacheConfig::paper(scheme);
+        let mut cache = DataCache::new(cfg, RetentionProfile::uniform_cycles(50_000, 1024));
+        let g = Geometry::paper_l1d();
+        let addr = g.address_of(tag as u64, set as u32 % g.sets());
+        let first = cache.access(10, addr, AccessKind::Load).unwrap();
+        prop_assert!(!first.hit);
+        let second = cache.access(20, addr, AccessKind::Load).unwrap();
+        prop_assert!(second.hit, "fresh line must hit on re-reference");
+    }
+
+    #[test]
+    fn dsp_never_touches_dead_ways(trace in trace_strategy(),
+                                   dead_way in 0u32..4) {
+        let mut rets = vec![100_000u64; 1024];
+        for set in 0..256u32 {
+            rets[(set * 4 + dead_way) as usize] = 0;
+        }
+        let cfg = CacheConfig::paper(Scheme::partial_refresh_dsp());
+        let mut cache = DataCache::new(cfg, RetentionProfile::PerLine(rets));
+        run_trace(&mut cache, &trace);
+        prop_assert_eq!(cache.stats().dead_way_events, 0);
+        prop_assert_eq!(cache.stats().expiry_misses, 0,
+            "DSP must never serve data from zero-retention ways");
+    }
+
+    #[test]
+    fn rsp_fifo_matches_dsp_dead_avoidance(trace in trace_strategy()) {
+        let mut rets = vec![100_000u64; 1024];
+        for set in 0..256u32 {
+            rets[(set * 4) as usize] = 0;
+        }
+        let cfg = CacheConfig::paper(Scheme::rsp_fifo());
+        let mut cache = DataCache::new(cfg, RetentionProfile::PerLine(rets));
+        run_trace(&mut cache, &trace);
+        prop_assert_eq!(cache.stats().dead_way_events, 0);
+    }
+
+    #[test]
+    fn determinism_under_identical_traces(trace in trace_strategy(),
+                                          scheme in scheme_strategy()) {
+        let cfg = CacheConfig::paper(scheme);
+        let profile = RetentionProfile::uniform_cycles(20_000, 1024);
+        let mut a = DataCache::new(cfg, profile.clone());
+        let mut b = DataCache::new(cfg, profile);
+        run_trace(&mut a, &trace);
+        run_trace(&mut b, &trace);
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn blocked_cycles_only_with_retention_work(trace in trace_strategy()) {
+        // An ideal cache never blocks ports on refresh work.
+        let mut cache = DataCache::ideal();
+        run_trace(&mut cache, &trace);
+        prop_assert_eq!(cache.stats().blocked_cycles, 0);
+        prop_assert_eq!(cache.stats().port_conflicts
+            + cache.stats().accesses(), cache.stats().accesses()
+            + cache.stats().port_conflicts); // tautology guard: counters finite
+    }
+
+    #[test]
+    fn global_scheme_never_serves_stale_data(trace in trace_strategy(),
+                                             ret in 20_000u64..200_000) {
+        let cfg = CacheConfig::paper(Scheme::global());
+        let mut cache = DataCache::new(cfg, RetentionProfile::uniform_cycles(ret, 1024));
+        run_trace(&mut cache, &trace);
+        // With uniform retention far above the rotation period, the global
+        // engine must keep everything alive: no expiry misses at all.
+        prop_assert_eq!(cache.stats().expiry_misses, 0);
+        prop_assert_eq!(cache.stats().refresh_overruns, 0);
+    }
+
+    #[test]
+    fn counter_quantization_never_exceeds_raw_retention(ret in 0u64..1_000_000,
+                                                        step in 1u32..10_000,
+                                                        bits in 1u32..8) {
+        let spec = CounterSpec { step_cycles: step, bits };
+        prop_assert!(spec.usable_cycles(ret) <= ret);
+        prop_assert_eq!(spec.is_dead(ret), ret < step as u64);
+    }
+}

@@ -1,0 +1,201 @@
+//! §2.1's yield argument, quantified: can redundancy or ECC rescue an
+//! unstable 6T cache?
+//!
+//! The paper dismisses 6T rescue mechanisms in one line — a 0.4 % bit-flip
+//! rate makes a 256-bit line fail with probability 64 %, so "line-level
+//! redundancy is straightforward to implement, but is ineffective". This
+//! module computes the actual manufacturing yield of a 6T cache under each
+//! rescue mechanism (none, spare lines, SECDED ECC, both), making the
+//! comparison against the 3T1D design's architectural tolerance explicit.
+
+use vlsi::cell6t::{bit_flip_probability, line_failure_probability, CellSize};
+use vlsi::math::binomial_tail_ge;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationParams;
+
+/// The rescue mechanism applied to an unstable 6T cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RescueMechanism {
+    /// No rescue: any unstable bit kills the cache.
+    None,
+    /// `spares` spare lines remap failing lines.
+    SpareLines {
+        /// Number of spare lines available.
+        spares: u32,
+    },
+    /// SECDED ECC per 64-bit word: a word survives one unstable bit.
+    Secded,
+    /// SECDED plus spare lines.
+    SecdedPlusSpares {
+        /// Number of spare lines available.
+        spares: u32,
+    },
+}
+
+impl std::fmt::Display for RescueMechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RescueMechanism::None => write!(f, "none"),
+            RescueMechanism::SpareLines { spares } => write!(f, "{spares} spare lines"),
+            RescueMechanism::Secded => write!(f, "SECDED/64b"),
+            RescueMechanism::SecdedPlusSpares { spares } => {
+                write!(f, "SECDED + {spares} spares")
+            }
+        }
+    }
+}
+
+/// Data bits per ECC word (SECDED over 64 data + 8 check bits).
+const ECC_WORD_DATA_BITS: u32 = 64;
+const ECC_WORD_TOTAL_BITS: u32 = 72;
+
+/// Probability that one SECDED-protected word is uncorrectable (≥ 2
+/// unstable bits among its 72 stored bits).
+pub fn secded_word_failure(bit_flip: f64) -> f64 {
+    // 1 - P(0 flips) - P(1 flip)
+    let n = ECC_WORD_TOTAL_BITS as u64;
+    binomial_tail_ge(n, 2, bit_flip)
+}
+
+/// Probability that one line fails under a rescue mechanism's *line-level*
+/// protection (ECC folds into the per-line failure probability; spares act
+/// across lines).
+pub fn line_failure_under(mechanism: RescueMechanism, bit_flip: f64, bits_per_line: u32) -> f64 {
+    match mechanism {
+        RescueMechanism::None | RescueMechanism::SpareLines { .. } => {
+            line_failure_probability(bit_flip, bits_per_line)
+        }
+        RescueMechanism::Secded | RescueMechanism::SecdedPlusSpares { .. } => {
+            let words = bits_per_line / ECC_WORD_DATA_BITS;
+            let pw = secded_word_failure(bit_flip);
+            1.0 - (1.0 - pw).powi(words as i32)
+        }
+    }
+}
+
+/// Manufacturing yield of a 6T cache of `lines` lines of `bits_per_line`
+/// bits under a rescue mechanism, at a bit-flip probability.
+pub fn cache_yield(
+    mechanism: RescueMechanism,
+    bit_flip: f64,
+    lines: u32,
+    bits_per_line: u32,
+) -> f64 {
+    let p_line = line_failure_under(mechanism, bit_flip, bits_per_line);
+    let spares = match mechanism {
+        RescueMechanism::SpareLines { spares }
+        | RescueMechanism::SecdedPlusSpares { spares } => spares,
+        _ => 0,
+    };
+    // The cache ships if at most `spares` lines fail.
+    1.0 - binomial_tail_ge(lines as u64, spares as u64 + 1, p_line)
+}
+
+/// One row of the rescue-mechanism comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RescueReport {
+    /// Technology node.
+    pub node: TechNode,
+    /// Per-bit flip probability under the given variation.
+    pub bit_flip: f64,
+    /// Yield with no rescue.
+    pub yield_none: f64,
+    /// Yield with 16 spare lines.
+    pub yield_spares: f64,
+    /// Yield with SECDED.
+    pub yield_secded: f64,
+    /// Yield with SECDED + 16 spare lines.
+    pub yield_both: f64,
+}
+
+/// Computes the §2.1 rescue comparison for a node and variation scenario
+/// (the paper's 64 KB / 512-bit-line cache; 16 spare lines where used).
+pub fn rescue_report(node: TechNode, params: &VariationParams) -> RescueReport {
+    let p = bit_flip_probability(node, CellSize::X1, params);
+    let (lines, bits) = (1024, 512);
+    RescueReport {
+        node,
+        bit_flip: p,
+        yield_none: cache_yield(RescueMechanism::None, p, lines, bits),
+        yield_spares: cache_yield(RescueMechanism::SpareLines { spares: 16 }, p, lines, bits),
+        yield_secded: cache_yield(RescueMechanism::Secded, p, lines, bits),
+        yield_both: cache_yield(
+            RescueMechanism::SecdedPlusSpares { spares: 16 },
+            p,
+            lines,
+            bits,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vlsi::variation::VariationCorner;
+
+    #[test]
+    fn paper_example_line_failure() {
+        // §2.1: p = 0.4%, 256-bit line → 64% failure.
+        let p = line_failure_under(RescueMechanism::None, 0.004, 256);
+        assert!((p - 0.64).abs() < 0.015, "p={p}");
+    }
+
+    #[test]
+    fn spares_cannot_rescue_at_paper_flip_rates() {
+        // With 64% of lines failing, even hundreds of spares are useless.
+        let y = cache_yield(RescueMechanism::SpareLines { spares: 128 }, 0.004, 1024, 256);
+        assert!(y < 1e-6, "yield {y}");
+    }
+
+    #[test]
+    fn secded_helps_but_not_enough_at_32nm() {
+        // At 0.4% per bit, a 72-bit word has ≥2 flips with probability
+        // ≈3.2% → a 512-bit line still fails with ≈23%: ECC alone cannot
+        // ship the cache either.
+        let pw = secded_word_failure(0.004);
+        assert!(pw > 0.02 && pw < 0.05, "word failure {pw}");
+        let y = cache_yield(RescueMechanism::Secded, 0.004, 1024, 512);
+        assert!(y < 1e-6, "yield {y}");
+    }
+
+    #[test]
+    fn rescue_works_at_older_nodes() {
+        // 65 nm typical: flip rates are negligible, every mechanism yields.
+        let r = rescue_report(TechNode::N65, &VariationCorner::Typical.params());
+        assert!(r.yield_secded > 0.999);
+        assert!(r.yield_both > 0.999);
+        assert!(r.yield_none > 0.8);
+    }
+
+    #[test]
+    fn yield_ordering_is_monotone_in_mechanism_strength() {
+        for node in TechNode::ALL {
+            let r = rescue_report(node, &VariationCorner::Typical.params());
+            assert!(r.yield_spares >= r.yield_none - 1e-12);
+            assert!(r.yield_secded >= r.yield_none - 1e-12);
+            assert!(r.yield_both >= r.yield_secded - 1e-12);
+            assert!(r.yield_both >= r.yield_spares - 1e-12);
+        }
+    }
+
+    #[test]
+    fn the_32nm_cliff_is_real() {
+        // The §2.1 argument: at 32 nm typical variation no classical
+        // rescue mechanism ships the 6T cache.
+        let r = rescue_report(TechNode::N32, &VariationCorner::Typical.params());
+        assert!(r.bit_flip > 0.003);
+        assert!(r.yield_both < 0.05, "yield_both {}", r.yield_both);
+    }
+
+    #[test]
+    fn yields_are_probabilities() {
+        for node in TechNode::ALL {
+            for corner in [VariationCorner::Typical, VariationCorner::Severe] {
+                let r = rescue_report(node, &corner.params());
+                for y in [r.yield_none, r.yield_spares, r.yield_secded, r.yield_both] {
+                    assert!((0.0..=1.0).contains(&y));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+use vlsi::montecarlo::ChipFactory;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+use vlsi::cell6t::CellSize;
+use vlsi::stats::{Summary, median};
+use vlsi::units::Time;
+
+fn main() {
+    for corner in [VariationCorner::Typical, VariationCorner::Severe] {
+        for node in [TechNode::N65, TechNode::N45, TechNode::N32] {
+            let f = ChipFactory::new(node, corner.params(), 2024);
+            let mut rets = Vec::new();
+            let mut dead_fracs = Vec::new();
+            let mut f1 = Summary::new();
+            let mut f2 = Summary::new();
+            let golden = vlsi::leakage::golden_cache_leakage_6t(node, f.layout().total_cells());
+            let mut l6 = Vec::new();
+            let mut l3 = Vec::new();
+            for i in 0..60 {
+                let c = f.chip(i);
+                let lr = c.line_retentions();
+                let dead = lr.iter().filter(|t| **t == Time::ZERO).count() as f64 / lr.len() as f64;
+                dead_fracs.push(dead);
+                rets.push(lr.iter().cloned().fold(Time::from_us(1e9), Time::min).ns());
+                f1.push(c.frequency_multiplier_6t(CellSize::X1));
+                f2.push(c.frequency_multiplier_6t(CellSize::X2));
+                l6.push(c.leakage_6t(CellSize::X1).value()/golden.value());
+                l3.push(c.leakage_3t1d().value()/golden.value());
+            }
+            let over15 = l6.iter().filter(|r| **r > 1.5).count();
+            let over1_3t = l3.iter().filter(|r| **r > 1.0).count();
+            println!("{corner} {node}: median cache ret {:.0} ns (min {:.0}, max {:.0}), median dead-line frac {:.3} (max {:.3}), freq1X mean {:.3}, freq2X mean {:.3}, leak6T median {:.2}x max {:.2}x >1.5x: {}/60, leak3T median {:.2}x max {:.2}x >1x: {}/60",
+                median(&rets), rets.iter().cloned().fold(f64::INFINITY,f64::min), rets.iter().cloned().fold(0.0,f64::max),
+                median(&dead_fracs), dead_fracs.iter().cloned().fold(0.0,f64::max),
+                f1.mean(), f2.mean(),
+                median(&l6), l6.iter().cloned().fold(0.0,f64::max), over15,
+                median(&l3), l3.iter().cloned().fold(0.0,f64::max), over1_3t);
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! 3T1D DRAM cell model: storage decay, access time, and retention (§2.2).
+//!
+//! The cell (Fig. 3) stores a degraded "1" of `V₀ = V_dd − k·V_th` on the
+//! gated-diode node. On a read, the diode boosts T2's gate to
+//! `BOOST_GAIN·V(t)`; the read is as fast as a 6T cell for as long as the
+//! boosted overdrive stays above a threshold. The stored charge decays
+//! exponentially with time constant τ set by the storage-node leakage, so
+//! the access time rises over time (Fig. 4) and the **retention time** —
+//! redefined by the paper as *the period during which the access speed
+//! matches a 6T cell* — is:
+//!
+//! ```text
+//! t_ret = τ · ln(V₀ / V_min),          dead if V₀ ≤ V_min
+//! ```
+//!
+//! Process variation enters through every term: Vth(T1) sets both `V₀` and
+//! (exponentially) τ; Vth(T2) and the gate lengths set `V_min`. This is the
+//! paper's central observation — *all* device variation lumps into a single
+//! per-cell retention time, while the access speed at the nominal clock is
+//! preserved.
+//!
+//! # Examples
+//!
+//! ```
+//! use vlsi::cell3t1d::retention_time;
+//! use vlsi::tech::TechNode;
+//! use vlsi::variation::DeviceDeviation;
+//!
+//! let t = retention_time(TechNode::N32, DeviceDeviation::NOMINAL, DeviceDeviation::NOMINAL);
+//! assert!((t.us() - 6.0).abs() < 0.01); // §4.1: ≈6000 ns at 32 nm
+//! ```
+
+use crate::calib::{
+    self, BOOST_GAIN, LAMBDA_RETENTION, RETENTION_LEAK_INSENSITIVE_FRAC, RETENTION_LOG_MARGIN,
+    WRITE_BODY_FACTOR,
+};
+use crate::tech::{thermal_voltage, TechNode};
+use crate::units::{Time, Voltage};
+use crate::variation::DeviceDeviation;
+
+/// The voltage initially stored for a "1" through write transistor T1
+/// (degraded by the body-affected threshold drop; the boosted write
+/// wordline damps the *deviation* part — [`calib::V0_WRITE_VTH_COUPLING`]).
+pub fn stored_one_voltage(node: TechNode, dev_t1: DeviceDeviation) -> Voltage {
+    let v0 = node.vdd().volts()
+        - WRITE_BODY_FACTOR * node.vth_nominal().volts()
+        - calib::V0_WRITE_VTH_COUPLING * dev_t1.vth_total(node).volts();
+    Voltage::new(v0.max(0.0))
+}
+
+/// The exponential decay time constant of the storage node.
+///
+/// A fraction [`RETENTION_LEAK_INSENSITIVE_FRAC`] of the leakage is
+/// junction/gate leakage (variation-insensitive); the rest is subthreshold
+/// conduction through T1 with exponential Vth and channel-length (DIBL)
+/// sensitivity.
+pub fn decay_tau(node: TechNode, dev_t1: DeviceDeviation) -> Time {
+    let tau0 = Time::new(calib::nominal_retention(node).value() / RETENTION_LOG_MARGIN);
+    let nvt = calib::RETENTION_SLOPE_IDEALITY * thermal_voltage().volts();
+    let x = -dev_t1.vth_total(node).volts() / nvt - LAMBDA_RETENTION * dev_t1.dl_frac;
+    let subthreshold_mult = x.clamp(-30.0, 30.0).exp();
+    let rho = RETENTION_LEAK_INSENSITIVE_FRAC;
+    Time::new(tau0.value() / (rho + (1.0 - rho) * subthreshold_mult))
+}
+
+/// The minimum storage voltage at which a read through T2 still meets the
+/// 6T timing, for a cell with read-path deviation `dev_t2`.
+///
+/// `V_min = V_min_nom · exp(A·x̂ + B·max(x̂,0)² + C·ΔL/L)` with
+/// `x̂ = ΔVth₂(random)/Vth_nom` — see the derivation notes on the
+/// [`calib::VMIN_LIN_SENS`] constants. The quadratic weak-side term models
+/// the gated-diode boost collapsing for high-Vth read devices; it is the
+/// mechanism that produces outright *dead* cells under severe variation.
+/// Correlated channel-length deviation couples only weakly (`C`): it slows
+/// the reference 6T timing together with the 3T1D read path, so most of it
+/// cancels out of the retention criterion.
+pub fn min_storage_voltage(node: TechNode, dev_t2: DeviceDeviation) -> Voltage {
+    let vmin_nom =
+        stored_one_voltage(node, DeviceDeviation::NOMINAL).volts() * (-RETENTION_LOG_MARGIN).exp();
+    let x_hat = dev_t2.dvth_random.volts() / node.vth_nominal().volts();
+    let exponent = calib::VMIN_LIN_SENS * x_hat
+        + calib::VMIN_QUAD_SENS * x_hat.max(0.0).powi(2)
+        + calib::VMIN_DL_SENS * dev_t2.dl_frac;
+    Voltage::new(vmin_nom * exponent.clamp(-20.0, 20.0).exp())
+}
+
+/// The retention time of a single 3T1D cell: the period after a write
+/// during which its access speed matches the nominal 6T array.
+///
+/// Returns [`Time::ZERO`] for a *dead* cell (one whose fresh stored level
+/// already fails the timing).
+pub fn retention_time(node: TechNode, dev_t1: DeviceDeviation, dev_t2: DeviceDeviation) -> Time {
+    let v0 = stored_one_voltage(node, dev_t1).volts();
+    let vmin = min_storage_voltage(node, dev_t2).volts();
+    if v0 <= vmin || vmin <= 0.0 {
+        return Time::ZERO;
+    }
+    let tau = decay_tau(node, dev_t1);
+    Time::new(tau.value() * (v0 / vmin).ln())
+}
+
+/// Multiplier on retention time when the die runs at `temp_c` instead of
+/// the 80 °C worst-case test temperature: leakage follows an Arrhenius law
+/// with activation energy [`calib::RETENTION_ACTIVATION_EV`], so cooler
+/// dies retain substantially longer (the §4.3.1 margin left on the table
+/// by worst-case-temperature counter programming).
+///
+/// # Panics
+///
+/// Panics if `temp_c` is below absolute zero.
+pub fn retention_temperature_factor(temp_c: f64) -> f64 {
+    let t = temp_c + 273.15;
+    assert!(t > 0.0, "temperature below absolute zero");
+    let t0 = crate::tech::SIM_TEMPERATURE_KELVIN;
+    const K_EV: f64 = 8.617_333e-5; // Boltzmann constant in eV/K
+    // Leakage ∝ exp(−Ea/kT): retention ∝ 1/leakage.
+    (calib::RETENTION_ACTIVATION_EV / K_EV * (1.0 / t - 1.0 / t0)).exp()
+}
+
+/// Multiplier on retention time when the cache runs at supply `vdd`
+/// instead of the node's nominal: a lower rail stores a lower "1"
+/// (`V₀ = V_dd − k·V_th`), shrinking the usable decay margin
+/// `ln(V₀/V_min)` — §5's "scaling voltage to lower levels also impacts
+/// retention times" (design points 3 and 5 of Fig. 12).
+///
+/// Returns 0 when the supply can no longer store a usable level.
+pub fn retention_vdd_factor(node: TechNode, vdd: Voltage) -> f64 {
+    let v0_nom = stored_one_voltage(node, DeviceDeviation::NOMINAL).volts();
+    let vmin_nom = v0_nom * (-RETENTION_LOG_MARGIN).exp();
+    let v0 = vdd.volts() - WRITE_BODY_FACTOR * node.vth_nominal().volts();
+    if v0 <= vmin_nom {
+        return 0.0;
+    }
+    (v0 / vmin_nom).ln() / RETENTION_LOG_MARGIN
+}
+
+/// [`retention_time`] at an arbitrary die temperature (80 °C = the
+/// worst-case test condition the paper programs counters for).
+pub fn retention_time_at(
+    node: TechNode,
+    dev_t1: DeviceDeviation,
+    dev_t2: DeviceDeviation,
+    temp_c: f64,
+) -> Time {
+    retention_time(node, dev_t1, dev_t2) * retention_temperature_factor(temp_c)
+}
+
+/// The storage-node voltage `elapsed` after a write of "1".
+pub fn storage_voltage_at(node: TechNode, dev_t1: DeviceDeviation, elapsed: Time) -> Voltage {
+    assert!(elapsed.value() >= 0.0, "elapsed time cannot be negative");
+    let v0 = stored_one_voltage(node, dev_t1);
+    let tau = decay_tau(node, dev_t1);
+    Voltage::new(v0.volts() * (-elapsed.value() / tau.value()).exp())
+}
+
+/// The boosted T2 gate voltage during a read, `elapsed` after a write
+/// (the Fig. 3 waveform: a fresh 0.6 V "1" is boosted to ≈1.13 V at 32 nm).
+pub fn boosted_read_voltage(node: TechNode, dev_t1: DeviceDeviation, elapsed: Time) -> Voltage {
+    storage_voltage_at(node, dev_t1, elapsed) * BOOST_GAIN
+}
+
+/// Array access time through a 3T1D cell `elapsed` after its last write
+/// (the Fig. 4 curve). While the stored level exceeds the cell's minimum
+/// usable voltage the cell is *faster* than 6T; past the retention time it
+/// is slower; once the headroom is gone the access never completes within
+/// any useful window (represented as 1 µs).
+///
+/// The curve crosses the nominal 6T access time exactly at the cell's
+/// [`retention_time`], for any device deviation.
+pub fn access_time(
+    node: TechNode,
+    dev_t1: DeviceDeviation,
+    dev_t2: DeviceDeviation,
+    elapsed: Time,
+) -> Time {
+    let nominal = node.sram_access_nominal();
+    let periphery = nominal * (1.0 - calib::CELL_DELAY_FRACTION);
+    let cell_nominal = nominal * calib::CELL_DELAY_FRACTION;
+
+    let v = storage_voltage_at(node, dev_t1, elapsed).volts();
+    let vmin = min_storage_voltage(node, dev_t2).volts();
+    if v <= 0.05 * vmin {
+        return Time::from_us(1.0);
+    }
+    // delay ∝ (V_min / V)^γ relative to the 6T cell share: unity headroom
+    // (V = V_min) reads exactly at 6T speed.
+    let mult = (vmin / v).powf(calib::DELAY_HEADROOM_EXPONENT);
+    periphery + cell_nominal * mult.min(1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(dl: f64, dvth_mv: f64) -> DeviceDeviation {
+        DeviceDeviation {
+            dl_frac: dl,
+            dvth_random: Voltage::from_mv(dvth_mv),
+        }
+    }
+
+    #[test]
+    fn nominal_retention_anchors() {
+        for (node, ns) in [
+            (TechNode::N65, 12_600.0),
+            (TechNode::N45, 9_200.0),
+            (TechNode::N32, 6_000.0),
+        ] {
+            let t = retention_time(node, DeviceDeviation::NOMINAL, DeviceDeviation::NOMINAL);
+            assert!((t.ns() - ns).abs() < 1.0, "{node}: {} ns", t.ns());
+        }
+    }
+
+    #[test]
+    fn stored_one_level_at_32nm() {
+        let v0 = stored_one_voltage(TechNode::N32, DeviceDeviation::NOMINAL);
+        assert!((v0.volts() - 0.5996).abs() < 0.01, "v0={}", v0.volts());
+    }
+
+    #[test]
+    fn leaky_t1_shortens_retention() {
+        // Lower Vth on T1 → exponentially more subthreshold leakage.
+        let leaky = retention_time(TechNode::N32, dev(0.0, -40.0), DeviceDeviation::NOMINAL);
+        let tight = retention_time(TechNode::N32, dev(0.0, 40.0), DeviceDeviation::NOMINAL);
+        let nom = retention_time(TechNode::N32, DeviceDeviation::NOMINAL, DeviceDeviation::NOMINAL);
+        assert!(leaky < nom, "leaky {} vs nom {}", leaky.ns(), nom.ns());
+        // On the high-Vth side the leakage gain is offset by the lower
+        // stored level, so retention stays near nominal rather than rising.
+        assert!(
+            (tight.ns() - nom.ns()).abs() / nom.ns() < 0.15,
+            "tight {} vs nom {}",
+            tight.ns(),
+            nom.ns()
+        );
+    }
+
+    #[test]
+    fn weak_read_path_shortens_retention() {
+        // Higher Vth on T2 raises V_min → earlier timing failure.
+        let weak = retention_time(TechNode::N32, DeviceDeviation::NOMINAL, dev(0.05, 40.0));
+        let strong = retention_time(TechNode::N32, DeviceDeviation::NOMINAL, dev(-0.05, -40.0));
+        let nom = retention_time(TechNode::N32, DeviceDeviation::NOMINAL, DeviceDeviation::NOMINAL);
+        assert!(weak < nom);
+        assert!(strong > nom);
+    }
+
+    #[test]
+    fn extreme_cell_is_dead() {
+        let t = retention_time(TechNode::N32, dev(0.0, 400.0), dev(0.3, 400.0));
+        assert_eq!(t, Time::ZERO);
+    }
+
+    #[test]
+    fn storage_decays_exponentially() {
+        let node = TechNode::N32;
+        let tau = decay_tau(node, DeviceDeviation::NOMINAL);
+        let v0 = storage_voltage_at(node, DeviceDeviation::NOMINAL, Time::ZERO);
+        let v_tau = storage_voltage_at(node, DeviceDeviation::NOMINAL, tau);
+        assert!((v_tau.volts() / v0.volts() - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fresh_cell_is_faster_than_6t() {
+        let node = TechNode::N32;
+        let t_fresh = access_time(node, DeviceDeviation::NOMINAL, DeviceDeviation::NOMINAL, Time::ZERO);
+        assert!(t_fresh < node.sram_access_nominal());
+    }
+
+    #[test]
+    fn access_time_crosses_6t_exactly_at_retention() {
+        let node = TechNode::N32;
+        let ret = retention_time(node, DeviceDeviation::NOMINAL, DeviceDeviation::NOMINAL);
+        let at_limit = access_time(node, DeviceDeviation::NOMINAL, DeviceDeviation::NOMINAL, ret);
+        assert!(
+            (at_limit.ps() - node.sram_access_nominal().ps()).abs() < 0.5,
+            "at_limit={} ps",
+            at_limit.ps()
+        );
+        // Just past the limit it must be slower.
+        let past = access_time(
+            node,
+            DeviceDeviation::NOMINAL,
+            DeviceDeviation::NOMINAL,
+            ret * 1.2,
+        );
+        assert!(past > node.sram_access_nominal());
+    }
+
+    #[test]
+    fn access_time_is_monotone_in_elapsed_time() {
+        let node = TechNode::N32;
+        let mut prev = Time::ZERO;
+        for i in 0..20 {
+            let t = access_time(
+                node,
+                DeviceDeviation::NOMINAL,
+                DeviceDeviation::NOMINAL,
+                Time::from_ns(500.0 * i as f64),
+            );
+            assert!(t >= prev, "non-monotone at step {i}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn fully_decayed_cell_never_reads() {
+        let node = TechNode::N32;
+        let t = access_time(
+            node,
+            DeviceDeviation::NOMINAL,
+            DeviceDeviation::NOMINAL,
+            Time::from_us(100.0),
+        );
+        assert!(t >= Time::from_us(1.0));
+    }
+
+    #[test]
+    fn fig4_weak_cell_retention_drops() {
+        // Fig. 4: a weak (leaky) cell drops from ≈5.8–6 µs to ≈4 µs. A
+        // deeply leaky Vth(T1) corner models that cell.
+        let leaky_t1 = dev(0.0, -150.0);
+        let t = retention_time(TechNode::N32, leaky_t1, DeviceDeviation::NOMINAL);
+        assert!(
+            t.ns() > 3_500.0 && t.ns() < 4_800.0,
+            "weak retention {} ns",
+            t.ns()
+        );
+    }
+
+    #[test]
+    fn temperature_factor_anchors() {
+        // Unity at the 80 °C test condition.
+        assert!((retention_temperature_factor(80.0) - 1.0).abs() < 1e-12);
+        // Cooler dies retain longer; hotter shorter.
+        assert!(retention_temperature_factor(50.0) > 1.5);
+        assert!(retention_temperature_factor(100.0) < 1.0);
+        // Roughly 2x per ~12 degrees near the anchor.
+        let f = retention_temperature_factor(68.0);
+        assert!(f > 1.6 && f < 2.6, "f={f}");
+    }
+
+    #[test]
+    fn vdd_factor_anchors() {
+        let node = TechNode::N32;
+        // Unity at the nominal rail.
+        assert!((retention_vdd_factor(node, node.vdd()) - 1.0).abs() < 1e-9);
+        // A 10% lower rail costs a large retention slice; a higher rail helps.
+        let low = retention_vdd_factor(node, Voltage::new(0.9));
+        assert!(low > 0.3 && low < 0.9, "low={low}");
+        assert!(retention_vdd_factor(node, Voltage::new(1.1)) > 1.0);
+        // Below the usable floor, retention collapses to zero.
+        assert_eq!(retention_vdd_factor(node, Voltage::new(0.70)), 0.0);
+    }
+
+    #[test]
+    fn retention_at_temperature_scales() {
+        let hot = retention_time_at(TechNode::N32, DeviceDeviation::NOMINAL,
+                                    DeviceDeviation::NOMINAL, 100.0);
+        let test = retention_time_at(TechNode::N32, DeviceDeviation::NOMINAL,
+                                     DeviceDeviation::NOMINAL, 80.0);
+        let cool = retention_time_at(TechNode::N32, DeviceDeviation::NOMINAL,
+                                     DeviceDeviation::NOMINAL, 50.0);
+        assert!(hot < test && test < cool);
+        assert!((test.ns() - 6_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn retention_monotone_in_t1_vth_on_leaky_side() {
+        // As Vth(T1) falls below nominal, subthreshold leakage rises
+        // (exponentially) faster than the stored level V0 grows: retention
+        // drops monotonically on that side.
+        let mut prev = Time::ZERO;
+        for mv in [-120.0, -80.0, -40.0, 0.0] {
+            let t = retention_time(TechNode::N32, dev(0.0, mv), DeviceDeviation::NOMINAL);
+            assert!(t > prev, "retention not monotone at {mv} mV");
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Scheme designer: pick the right retention scheme for *your* chip.
+//!
+//! Given a chip grade (good/median/bad under severe variation), runs all
+//! eight line-level refresh × placement combinations plus the global
+//! scheme when feasible, and reports performance, dynamic power, and the
+//! hardware each scheme needs — the §4.3.3 trade-off table, interactive.
+//!
+//! ```text
+//! cargo run --release --example scheme_designer [good|median|bad] [--quick]
+//! ```
+
+use pv3t1d::prelude::*;
+use vlsi::power::MemKind;
+
+fn hardware_notes(scheme: &Scheme) -> &'static str {
+    use cachesim::ReplacementPolicy::*;
+    match (scheme.refresh, scheme.replacement) {
+        (RefreshPolicy::Global, _) => "1 global counter",
+        (RefreshPolicy::None, Lru) => "3-bit line counters (~10% area)",
+        (RefreshPolicy::None, Dsp) => "line counters + dead map",
+        (RefreshPolicy::Partial { .. }, Lru) => "line counters + token (3-4 gates)",
+        (RefreshPolicy::Partial { .. }, Dsp) => "counters + token + dead map",
+        (RefreshPolicy::Full, Lru) => "line counters + token",
+        (RefreshPolicy::Full, Dsp) => "counters + token + dead map",
+        (_, RspFifo) => "counters + way MUXes (~7% extra)",
+        (_, RspLru) => "counters + way MUXes + swap control",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let grade = match args.get(1).map(String::as_str) {
+        Some("good") => ChipGrade::Good,
+        Some("bad") => ChipGrade::Bad,
+        _ => ChipGrade::Median,
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let (instr, warm) = if quick { (40_000, 20_000) } else { (150_000, 75_000) };
+
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Severe.params(), 60, 99);
+    let chip = pop.select(grade);
+    println!(
+        "designing for the {grade} chip (#{}) under severe variation:",
+        chip.index()
+    );
+    println!(
+        "  cache retention {:.0} ns, {:.1}% dead lines, mean line retention {:.0} ns",
+        chip.cache_retention().ns(),
+        chip.dead_fraction() * 100.0,
+        chip.mean_line_retention().ns()
+    );
+    println!();
+
+    let eval = Evaluator::new(EvalConfig {
+        node: TechNode::N32,
+        instructions: instr,
+        warmup: warm,
+        ..EvalConfig::default()
+    });
+    let ideal = eval.run_ideal(4);
+
+    println!(
+        "{:<28} {:>8} {:>10}   hardware",
+        "scheme", "perf", "dyn power"
+    );
+
+    // Global scheme first, if this chip can use it at all.
+    let gcfg = CacheConfig::paper(Scheme::global());
+    if DataCache::global_scheme_feasible(chip.retention_profile(), &gcfg) {
+        let suite = eval.run_scheme(chip.retention_profile(), Scheme::global(), 4);
+        println!(
+            "{:<28} {:>8.3} {:>9.2}x   {}",
+            Scheme::global().to_string(),
+            suite.normalized_performance(&ideal, 1.0),
+            suite.normalized_dynamic_power(&ideal, MemKind::Dram3t1d),
+            hardware_notes(&Scheme::global())
+        );
+    } else {
+        println!(
+            "{:<28} {:>8} {:>10}   (chip has dead lines: discarded)",
+            "global-refresh/LRU", "--", "--"
+        );
+    }
+
+    let mut best = (String::new(), 0.0f64);
+    for scheme in Scheme::figure9_schemes() {
+        let suite = eval.run_scheme(chip.retention_profile(), scheme, 4);
+        let perf = suite.normalized_performance(&ideal, 1.0);
+        let power = suite.normalized_dynamic_power(&ideal, MemKind::Dram3t1d);
+        println!(
+            "{:<28} {:>8.3} {:>9.2}x   {}",
+            scheme.to_string(),
+            perf,
+            power,
+            hardware_notes(&scheme)
+        );
+        if perf > best.1 {
+            best = (scheme.to_string(), perf);
+        }
+    }
+
+    println!();
+    println!(
+        "recommendation: {} ({:.1}% of ideal-6T performance on this chip)",
+        best.0,
+        best.1 * 100.0
+    );
+}

@@ -1,0 +1,80 @@
+//! Yield explorer: how many fabricated chips survive at each variation
+//! severity, under the coarse global-refresh scheme versus the line-level
+//! retention schemes?
+//!
+//! This is the paper's headline scenario (§4.2–§4.3): under severe
+//! variation the global scheme must discard ≈80 %+ of chips (any dead
+//! line kills the whole cache), while line-level schemes keep *every*
+//! chip shippable at a small performance cost — and the 6T alternative
+//! would have lost ≈40 % frequency outright.
+//!
+//! ```text
+//! cargo run --release --example yield_explorer [--quick]
+//! ```
+
+use pv3t1d::prelude::*;
+use vlsi::cell6t::CellSize;
+use vlsi::stats::Summary;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let chips = if quick { 24 } else { 100 };
+    let (instr, warm) = if quick { (40_000, 20_000) } else { (120_000, 60_000) };
+
+    println!("{:<26} {:>10} {:>10} {:>12} {:>12}", "", "typical", "severe", "", "");
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "variation scenario", "5%L/10%Vth", "7%L/15%Vth"
+    );
+
+    let mut rows: Vec<(String, Vec<String>)> = vec![
+        ("6T median frequency".into(), vec![]),
+        ("global-scheme yield".into(), vec![]),
+        ("line-scheme yield".into(), vec![]),
+        ("line-scheme worst perf".into(), vec![]),
+    ];
+
+    for corner in [VariationCorner::Typical, VariationCorner::Severe] {
+        let pop = ChipPopulation::generate(TechNode::N32, corner.params(), chips, 1234);
+
+        // 6T alternative: median frequency multiplier.
+        let mut freqs = Summary::new();
+        for c in pop.chips() {
+            freqs.push(c.frequency_multiplier_6t(CellSize::X1));
+        }
+        rows[0].1.push(format!("{:.2}x", freqs.mean()));
+
+        // Global scheme: a chip ships only if its worst line can be
+        // refreshed in time.
+        let gcfg = CacheConfig::paper(Scheme::global());
+        let discard = pop.global_scheme_discard_fraction(&gcfg);
+        rows[1].1.push(format!("{:.0}%", (1.0 - discard) * 100.0));
+
+        // Line-level scheme (partial-refresh/DSP): every chip ships;
+        // measure the worst chip's performance.
+        let eval = Evaluator::new(EvalConfig {
+            node: TechNode::N32,
+            instructions: instr,
+            warmup: warm,
+            benchmarks: vec![SpecBenchmark::Gzip, SpecBenchmark::Mcf],
+            ..EvalConfig::default()
+        });
+        let ideal = eval.run_ideal(4);
+        let mut worst: f64 = 1.0;
+        // The bad chip bounds the population.
+        let bad = pop.select(ChipGrade::Bad);
+        let suite = eval.run_scheme(bad.retention_profile(), Scheme::partial_refresh_dsp(), 4);
+        worst = worst.min(suite.normalized_performance(&ideal, 1.0));
+        rows[2].1.push("100%".into());
+        rows[3].1.push(format!("{:.1}%", worst * 100.0));
+    }
+
+    for (name, vals) in rows {
+        println!("{:<26} {:>10} {:>10}", name, vals[0], vals[1]);
+    }
+    println!();
+    println!("Takeaway (the paper's §4.3 argument): at severe variation the");
+    println!("global scheme discards most chips and a 6T design loses large");
+    println!("frequency margins, while retention-aware line-level schemes ship");
+    println!("every chip within a few percent of ideal performance.");
+}

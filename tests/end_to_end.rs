@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full chip → cache → pipeline →
+//! evaluation flow the experiments are built on.
+
+use pv3t1d::prelude::*;
+use vlsi::power::MemKind;
+
+fn quick_eval(benches: Vec<SpecBenchmark>) -> Evaluator {
+    Evaluator::new(EvalConfig {
+        node: TechNode::N32,
+        instructions: 40_000,
+        warmup: 20_000,
+        seed: 7,
+        benchmarks: benches,
+        ..EvalConfig::default()
+    })
+}
+
+#[test]
+fn full_flow_is_deterministic_end_to_end() {
+    let run = || {
+        let pop =
+            ChipPopulation::generate(TechNode::N32, VariationCorner::Severe.params(), 6, 11);
+        let eval = quick_eval(vec![SpecBenchmark::Gzip]);
+        let ideal = eval.run_ideal(4);
+        let chip = pop.select(ChipGrade::Median);
+        let suite = eval.run_scheme(chip.retention_profile(), Scheme::rsp_fifo(), 4);
+        suite.normalized_performance(&ideal, 1.0)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "identical seeds must reproduce identical results");
+}
+
+#[test]
+fn typical_chips_with_global_scheme_stay_close_to_ideal() {
+    // The paper's §4.2 headline: under typical variation, 3T1D + global
+    // refresh performs within ~2% of an ideal 6T design.
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Typical.params(), 8, 21);
+    let eval = quick_eval(vec![SpecBenchmark::Gzip, SpecBenchmark::Mcf]);
+    let ideal = eval.run_ideal(4);
+    let gcfg = CacheConfig::paper(Scheme::global());
+    let mut tested = 0;
+    for chip in pop.chips() {
+        if !DataCache::global_scheme_feasible(chip.retention_profile(), &gcfg) {
+            continue;
+        }
+        let suite = eval.run_scheme(chip.retention_profile(), Scheme::global(), 4);
+        let perf = suite.normalized_performance(&ideal, 1.0);
+        assert!(perf > 0.96, "chip {}: perf {perf}", chip.index());
+        tested += 1;
+    }
+    assert!(tested >= 6, "most typical chips must be feasible");
+}
+
+#[test]
+fn severe_chips_survive_with_line_level_schemes() {
+    // §4.3: line-level schemes keep every severely-varied chip usable.
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Severe.params(), 8, 31);
+    let eval = quick_eval(vec![SpecBenchmark::Gzip]);
+    let ideal = eval.run_ideal(4);
+    for chip in pop.chips() {
+        let suite = eval.run_scheme(chip.retention_profile(), Scheme::partial_refresh_dsp(), 4);
+        let perf = suite.normalized_performance(&ideal, 1.0);
+        assert!(
+            perf > 0.90,
+            "chip {} ({}% dead): perf {perf}",
+            chip.index(),
+            chip.dead_fraction() * 100.0
+        );
+    }
+}
+
+#[test]
+fn retention_aware_schemes_beat_naive_lru_on_bad_chips() {
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Severe.params(), 24, 41);
+    let bad = pop.select(ChipGrade::Bad);
+    let eval = quick_eval(vec![SpecBenchmark::Gzip, SpecBenchmark::Mcf]);
+    let ideal = eval.run_ideal(4);
+    let naive = eval
+        .run_scheme(bad.retention_profile(), Scheme::no_refresh_lru(), 4)
+        .normalized_performance(&ideal, 1.0);
+    let dsp = eval
+        .run_scheme(bad.retention_profile(), Scheme::partial_refresh_dsp(), 4)
+        .normalized_performance(&ideal, 1.0);
+    let rsp = eval
+        .run_scheme(bad.retention_profile(), Scheme::rsp_fifo(), 4)
+        .normalized_performance(&ideal, 1.0);
+    assert!(dsp > naive, "DSP {dsp} must beat naive LRU {naive}");
+    assert!(rsp > naive, "RSP {rsp} must beat naive LRU {naive}");
+}
+
+#[test]
+fn leakage_advantage_holds_across_the_population() {
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Typical.params(), 20, 51);
+    for chip in pop.chips() {
+        assert!(
+            chip.leakage_3t1d().value() < 0.6 * chip.leakage_6t().value(),
+            "chip {}: 3T1D leakage must be far below 6T",
+            chip.index()
+        );
+    }
+}
+
+#[test]
+fn dynamic_power_normalization_is_consistent() {
+    let eval = quick_eval(vec![SpecBenchmark::Gzip]);
+    let ideal = eval.run_ideal(4);
+    // A 3T1D cache with effectively infinite retention still pays the
+    // per-access energy factor but nothing else.
+    let profile = RetentionProfile::uniform_cycles(10_000_000, 1024);
+    let suite = eval.run_scheme(&profile, Scheme::no_refresh_lru(), 4);
+    let p = suite.normalized_dynamic_power(&ideal, MemKind::Dram3t1d);
+    assert!(p > 1.0 && p < 1.35, "baseline 3T1D power factor: {p}");
+}
+
+#[test]
+fn frequency_multiplier_flows_into_bips() {
+    let eval = quick_eval(vec![SpecBenchmark::Gzip]);
+    let ideal = eval.run_ideal(4);
+    let full = ideal.hm_bips(1.0);
+    let derated = ideal.hm_bips(0.84);
+    assert!((derated / full - 0.84).abs() < 1e-9);
+}
+
+#[test]
+fn associativity_sweep_runs_all_widths() {
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Severe.params(), 6, 61);
+    let chip = pop.select(ChipGrade::Median);
+    let eval = quick_eval(vec![SpecBenchmark::Gzip]);
+    for ways in [1u32, 2, 4, 8] {
+        let ideal = eval.run_ideal(ways);
+        let suite = eval.run_scheme(chip.retention_profile(), Scheme::rsp_fifo(), ways);
+        let perf = suite.normalized_performance(&ideal, 1.0);
+        assert!(perf > 0.8 && perf < 1.1, "{ways}-way: perf {perf}");
+    }
+}
+
+#[test]
+fn sensitivity_sweep_end_to_end() {
+    let eval = quick_eval(vec![SpecBenchmark::Gzip]);
+    let ideal = eval.run_ideal(4);
+    let sweep = SensitivitySweep::coarse();
+    let pts = sweep.run(&eval, Scheme::rsp_fifo(), &ideal);
+    assert_eq!(pts.len(), sweep.mus.len() * sweep.ratios.len());
+    for p in &pts {
+        assert!(p.performance > 0.7 && p.performance < 1.1);
+        assert!((0.0..=1.0).contains(&p.dead_fraction));
+    }
+}
+
+#[test]
+fn table3_reproduces_cross_design_orderings() {
+    let eval = quick_eval(vec![SpecBenchmark::Gzip, SpecBenchmark::Mesa]);
+    let rows = t3cache::table3_rows(TechNode::N32, &eval, 10, 71);
+    assert!(rows[1].bips < rows[0].bips, "6T median is slower than ideal");
+    assert!(rows[2].bips > rows[1].bips, "3T1D recovers the frequency loss");
+    assert!(rows[2].leakage.value() < rows[0].leakage.value());
+    let saving = t3cache::cache_power_saving(&rows);
+    assert!(saving > 0.3, "power saving {saving}");
+}
