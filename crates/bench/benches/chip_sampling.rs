@@ -19,6 +19,23 @@ fn bench_chip_products(c: &mut Criterion) {
         })
     });
 
+    // Memoization delta: the first call pays the full 557k-cell solve;
+    // repeat calls on the same chip must be O(1) slice returns. Compare
+    // this entry against `chip_line_retentions_1024` (fresh chip per
+    // iteration) — the gap is the memoization win.
+    c.bench_function("chip_line_retentions_memoized_hit", |b| {
+        let chip = factory.chip(0);
+        chip.line_retentions_cached();
+        b.iter(|| black_box(chip.line_retentions_cached().len()))
+    });
+
+    // The exact per-cell reference path (no interpolation table, no
+    // cache): the denominator of the fast-path speedup.
+    c.bench_function("chip_line_retentions_uncached_exact", |b| {
+        let chip = factory.chip(0);
+        b.iter(|| black_box(chip.line_retentions_uncached()))
+    });
+
     c.bench_function("chip_worst_6t_access", |b| {
         let chip = factory.chip(0);
         b.iter(|| black_box(chip.worst_6t_access(CellSize::X1)))

@@ -73,12 +73,13 @@ fn main() {
     // "Alive" per the chip's own counter sizing (near-dead lines below one
     // counter step would be remapped, exactly like dead cache lines).
     let step_ns = bad.counter_spec().step_cycles as f64 / 4.3;
-    let worst_alive_ns = bad
+    let alive_ns: Vec<f64> = bad
         .retention_times()
         .iter()
         .map(|t| t.ns())
         .filter(|ns| *ns >= step_ns)
-        .fold(f64::INFINITY, f64::min);
+        .collect();
+    let worst_alive_ns = bench_harness::min(&alive_ns);
     let worst_alive_cycles = worst_alive_ns * 4.3;
     compare(
         "operand reads consumed within 1K cycles",

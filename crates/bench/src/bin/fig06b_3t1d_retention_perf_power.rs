@@ -6,9 +6,14 @@
 //! within ≈2 % of ideal above ≈700 ns with a knee near 500 ns; total
 //! dynamic power runs 1.3–2.25× ideal (refresh share growing as retention
 //! shrinks); 97 % of chips lose <2 %.
+//!
+//! Both the Monte-Carlo chip sampling and the per-chip simulations run as
+//! [`t3cache::campaign`] work units; the banner reports the aggregate
+//! wall clock and speedup over the estimated serial time.
 
-use bench_harness::{bar, banner, compare, RunScale};
+use bench_harness::{bar, banner, compare, min, RunScale};
 use cachesim::{CacheConfig, DataCache, Scheme};
+use t3cache::campaign::{map_indexed, CampaignReport};
 use t3cache::chip::ChipModel;
 use t3cache::evaluate::Evaluator;
 use vlsi::montecarlo::ChipFactory;
@@ -17,6 +22,23 @@ use vlsi::stats::Histogram;
 use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
+/// One simulated pick: either discarded by the global-scheme feasibility
+/// check or a full measurement row.
+enum PickRow {
+    Discarded {
+        retention_ns: f64,
+    },
+    Measured {
+        retention_ns: f64,
+        perf: f64,
+        worst_bench: String,
+        worst: f64,
+        normal_dyn: f64,
+        refresh_dyn: f64,
+        total_dyn: f64,
+    },
+}
+
 fn main() {
     let scale = RunScale::detect();
     banner(
@@ -24,14 +46,18 @@ fn main() {
         "3T1D retention distribution, performance and dynamic power (typical, 32 nm, global refresh)",
     );
     let factory = ChipFactory::new(TechNode::N32, VariationCorner::Typical.params(), 20_241);
+    let mut timing = CampaignReport::empty();
 
-    // Retention histogram over the Monte-Carlo population.
+    // Retention histogram over the Monte-Carlo population (chip sampling
+    // fans out; chip i depends only on (base_seed, i)).
+    let (models, sample_report) = map_indexed(scale.mc_chips.min(160) as usize, |i| {
+        ChipModel::new(&factory.chip(i as u32))
+    });
+    timing.absorb(&sample_report);
+    let mut models = models;
     let mut hist = Histogram::new(357.0, 3213.0, 12); // 238-ns bins on the paper's tick grid
-    let mut models: Vec<ChipModel> = Vec::new();
-    for i in 0..scale.mc_chips.min(160) {
-        let chip = ChipModel::new(&factory.chip(i));
+    for chip in &models {
         hist.push(chip.cache_retention().ns());
-        models.push(chip);
     }
     println!("retention (ns)  chip probability");
     for (center, frac) in hist.iter() {
@@ -61,20 +87,11 @@ fn main() {
     let ideal = eval.run_ideal(4);
     let cfg = CacheConfig::paper(Scheme::global());
 
-    println!();
-    println!(
-        "{:>12} {:>8} {:>10} {:>12} {:>12} {:>12}",
-        "retention", "perf", "worst-bench", "normal dyn", "refresh dyn", "total dyn"
-    );
-    let mut all_perf = Vec::new();
-    let mut all_retentions = Vec::new();
-    for chip in picks {
+    let (rows, sim_report) = map_indexed(picks.len(), |i| {
+        let chip = picks[i];
+        let retention_ns = chip.cache_retention().ns();
         if !DataCache::global_scheme_feasible(chip.retention_profile(), &cfg) {
-            println!(
-                "{:>10.0}ns  -- discarded (retention below refresh-pass feasibility) --",
-                chip.cache_retention().ns()
-            );
-            continue;
+            return PickRow::Discarded { retention_ns };
         }
         let suite = eval.run_scheme(chip.retention_profile(), Scheme::global(), 4);
         let perf = suite.normalized_performance(&ideal, 1.0);
@@ -94,30 +111,57 @@ fn main() {
             ev.line_moves = 0;
             refresh_only += ev.total_energy(suite.node, MemKind::Dram3t1d).value();
         }
-        let base = ideal
-            .mean_dynamic_power(MemKind::Sram6t)
-            .value()
-            * suite.total_time().value();
-        all_perf.push(perf);
-        all_retentions.push(chip.cache_retention().ns());
-        println!(
-            "{:>10.0}ns {:>8.3} {:>4} {:>5.3} {:>12.2} {:>12.2} {:>12.2}",
-            chip.cache_retention().ns(),
+        let base = ideal.mean_dynamic_power(MemKind::Sram6t).value() * suite.total_time().value();
+        PickRow::Measured {
+            retention_ns,
             perf,
-            wb.to_string(),
+            worst_bench: wb.to_string(),
             worst,
-            no_refresh / base,
-            refresh_only / base,
-            total
-        );
+            normal_dyn: no_refresh / base,
+            refresh_dyn: refresh_only / base,
+            total_dyn: total,
+        }
+    });
+    timing.absorb(&sim_report);
+
+    println!();
+    println!(
+        "{:>12} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "retention", "perf", "worst-bench", "normal dyn", "refresh dyn", "total dyn"
+    );
+    let mut all_perf = Vec::new();
+    let mut all_retentions = Vec::new();
+    for row in &rows {
+        match row {
+            PickRow::Discarded { retention_ns } => println!(
+                "{retention_ns:>10.0}ns  -- discarded (retention below refresh-pass feasibility) --"
+            ),
+            PickRow::Measured {
+                retention_ns,
+                perf,
+                worst_bench,
+                worst,
+                normal_dyn,
+                refresh_dyn,
+                total_dyn,
+            } => {
+                all_perf.push(*perf);
+                all_retentions.push(*retention_ns);
+                println!(
+                    "{:>10.0}ns {:>8.3} {:>4} {:>5.3} {:>12.2} {:>12.2} {:>12.2}",
+                    retention_ns, perf, worst_bench, worst, normal_dyn, refresh_dyn, total_dyn
+                );
+            }
+        }
     }
 
     println!();
+    println!("{}", timing.banner_line());
+    println!();
     if !all_perf.is_empty() {
-        let min = all_perf.iter().cloned().fold(f64::INFINITY, f64::min);
         compare(
             "worst simulated chip performance",
-            min,
+            min(&all_perf),
             ">=0.94 above the knee (Fig. 6b)",
         );
         // Population-weighted "<2% loss" fraction: the simulated picks span

@@ -8,7 +8,8 @@
 
 use bench_harness::{banner, compare, RunScale};
 use cachesim::Scheme;
-use t3cache::chip::{ChipGrade, ChipPopulation};
+use t3cache::campaign::evaluate_grid;
+use t3cache::chip::{ChipGrade, ChipModel, ChipPopulation};
 use t3cache::evaluate::Evaluator;
 use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
@@ -29,15 +30,19 @@ fn main() {
     let ideal = eval.run_ideal(4);
 
     let schemes = Scheme::figure9_schemes();
+    // One campaign over the schemes × {good, median, bad} grid.
+    let exemplars: Vec<&ChipModel> = [ChipGrade::Good, ChipGrade::Median, ChipGrade::Bad]
+        .iter()
+        .map(|&g| pop.select(g))
+        .collect();
+    let grid = evaluate_grid(&eval, &exemplars, &schemes, &ideal);
+    println!("{}", grid.report.banner_line());
+    println!();
+
     println!("{:<28} {:>8} {:>8} {:>8}", "scheme", "good", "median", "bad");
     let mut results = Vec::new();
-    for scheme in &schemes {
-        let mut row = Vec::new();
-        for grade in [ChipGrade::Good, ChipGrade::Median, ChipGrade::Bad] {
-            let chip = pop.select(grade);
-            let suite = eval.run_scheme(chip.retention_profile(), *scheme, 4);
-            row.push(suite.normalized_performance(&ideal, 1.0));
-        }
+    for (s, scheme) in schemes.iter().enumerate() {
+        let row = grid.perfs(s);
         println!(
             "{:<28} {:>8.3} {:>8.3} {:>8.3}",
             scheme.to_string(),

@@ -5,12 +5,17 @@
 //! partial-refresh/DSP hold performance within ≈3 % (most chips <1 %)
 //! with <10 % dynamic-power overhead; no-refresh/LRU loses more and its
 //! power overhead reaches ≈60 % on the worst chips (extra L2 traffic).
+//!
+//! The chips × schemes grid runs on the [`t3cache::campaign`] engine: the
+//! banner reports the fan-out's wall clock against its estimated serial
+//! time, and the per-chip results are bit-identical to a serial run
+//! (`PV3T1D_WORKERS=1` to verify).
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, compare, frac_above, max, min, RunScale};
 use cachesim::Scheme;
-use t3cache::chip::ChipPopulation;
+use t3cache::campaign::evaluate_grid;
+use t3cache::chip::{ChipModel, ChipPopulation};
 use t3cache::evaluate::Evaluator;
-use vlsi::power::MemKind;
 use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
@@ -36,16 +41,15 @@ fn main() {
         ("RSP-FIFO", Scheme::rsp_fifo()),
     ];
 
+    let chip_refs: Vec<&ChipModel> = pop.chips().iter().collect();
+    let scheme_list: Vec<Scheme> = schemes.iter().map(|&(_, s)| s).collect();
+    let result = evaluate_grid(&eval, &chip_refs, &scheme_list, &ideal);
+    println!("{}", result.report.banner_line());
+    println!();
+
     // perf[scheme][chip], power[scheme][chip]
-    let mut perf: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(chips as usize)).collect();
-    let mut power: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(chips as usize)).collect();
-    for chip in pop.chips() {
-        for (k, (_, scheme)) in schemes.iter().enumerate() {
-            let suite = eval.run_scheme(chip.retention_profile(), *scheme, 4);
-            perf[k].push(suite.normalized_performance(&ideal, 1.0));
-            power[k].push(suite.normalized_dynamic_power(&ideal, MemKind::Dram3t1d));
-        }
-    }
+    let perf: Vec<Vec<f64>> = (0..3).map(|s| result.perfs(s)).collect();
+    let power: Vec<Vec<f64>> = (0..3).map(|s| result.powers(s)).collect();
 
     // Sort chips by descending no-refresh performance, as in the figure.
     let mut order: Vec<usize> = (0..chips as usize).collect();
@@ -72,9 +76,6 @@ fn main() {
     }
 
     println!();
-    let min = |v: &Vec<f64>| v.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = |v: &Vec<f64>| v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let frac_above = |v: &Vec<f64>, x: f64| v.iter().filter(|p| **p > x).count() as f64 / v.len() as f64;
     compare("worst-chip perf, no-refresh/LRU", min(&perf[0]), ">=0.86 (Fig. 9/10)");
     compare("worst-chip perf, partial-refresh/DSP", min(&perf[1]), ">=0.97");
     compare("worst-chip perf, RSP-FIFO", min(&perf[2]), ">=0.97");

@@ -6,6 +6,7 @@
 
 use bench_harness::{banner, compare, RunScale};
 use cachesim::Scheme;
+use t3cache::campaign::CampaignReport;
 use t3cache::evaluate::Evaluator;
 use t3cache::sensitivity::SensitivitySweep;
 use vlsi::tech::TechNode;
@@ -50,10 +51,14 @@ fn main() {
 
     let mut cliff = (0.0f64, 0.0f64); // no-refresh perf at σ/µ=0.25 vs 0.35, low µ
     let mut aware_vs_naive = 0.0;
+    let mut timing = CampaignReport::empty();
     for (si, (name, scheme)) in schemes.iter().enumerate() {
         println!();
         println!("{name}:");
-        let pts = sweep.run(&eval, *scheme, &ideal);
+        // Each scheme's µ–σ/µ grid fans out as one campaign of
+        // independent grid-point units.
+        let (pts, report) = sweep.run_timed(&eval, *scheme, &ideal);
+        timing.absorb(&report);
         print!("{:>10}", "mu\\s/mu");
         for r in &sweep.ratios {
             print!("{:>8.0}%", r * 100.0);
@@ -85,6 +90,8 @@ fn main() {
         }
     }
 
+    println!();
+    println!("{}", timing.banner_line());
     println!();
     compare(
         "no-refresh/LRU drop from s/u=25% to 35% (low mu)",

@@ -6,28 +6,38 @@
 //! 3T1D cells have no fighting and are stable.
 
 use bench_harness::{banner, compare};
+use t3cache::campaign::map_indexed;
 use vlsi::cell6t::{bit_flip_probability, line_failure_probability, CellSize};
 use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
 fn main() {
     banner("Section 2.1", "6T cell stability under process variation");
+    // Analytic study, but run through the campaign engine like its sim
+    // siblings: one unit per (node, corner) cell of the table.
+    let corners = [VariationCorner::Typical, VariationCorner::Severe];
+    let units = TechNode::ALL.len() * corners.len();
+    let (rows, report) = map_indexed(units, |i| {
+        let node = TechNode::ALL[i / corners.len()];
+        let corner = corners[i % corners.len()];
+        let p = bit_flip_probability(node, CellSize::X1, &corner.params());
+        (node, corner, p)
+    });
+    println!("{}", report.banner_line());
+    println!();
     println!(
         "{:<10} {:<10} {:>14} {:>16} {:>16}",
         "node", "corner", "bit flip", "256b line fail", "512b line fail"
     );
-    for node in TechNode::ALL {
-        for corner in [VariationCorner::Typical, VariationCorner::Severe] {
-            let p = bit_flip_probability(node, CellSize::X1, &corner.params());
-            println!(
-                "{:<10} {:<10} {:>13.4}% {:>15.1}% {:>15.1}%",
-                node.to_string(),
-                corner.to_string(),
-                p * 100.0,
-                line_failure_probability(p, 256) * 100.0,
-                line_failure_probability(p, 512) * 100.0
-            );
-        }
+    for (node, corner, p) in rows {
+        println!(
+            "{:<10} {:<10} {:>13.4}% {:>15.1}% {:>15.1}%",
+            node.to_string(),
+            corner.to_string(),
+            p * 100.0,
+            line_failure_probability(p, 256) * 100.0,
+            line_failure_probability(p, 512) * 100.0
+        );
     }
     println!();
     let p32 = bit_flip_probability(

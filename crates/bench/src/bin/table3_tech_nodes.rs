@@ -8,6 +8,7 @@
 //! of performance recovered.
 
 use bench_harness::{banner, compare, RunScale};
+use t3cache::campaign::map_indexed;
 use t3cache::evaluate::Evaluator;
 use t3cache::table3::{cache_power_saving, table3_rows};
 use uarch::MachineConfig;
@@ -25,17 +26,26 @@ fn main() {
     );
     println!();
 
+    // One campaign unit per technology node (each node's Monte-Carlo
+    // population and simulations are independent).
+    let nodes = TechNode::ALL;
+    let (per_node, report) = map_indexed(nodes.len(), |i| {
+        let node = nodes[i];
+        let eval = Evaluator::new(scale.eval_config(node));
+        table3_rows(node, &eval, scale.mc_chips.min(80), 20_247)
+    });
+    println!("{}", report.banner_line());
+    println!();
+
     let mut saving_32 = 0.0;
     let mut bips = (0.0, 0.0, 0.0); // (ideal32, 6t32, 3t32)
-    for node in TechNode::ALL {
-        let eval = Evaluator::new(scale.eval_config(node));
-        let rows = table3_rows(node, &eval, scale.mc_chips.min(80), 20_247);
+    for (node, rows) in nodes.iter().copied().zip(&per_node) {
         println!("--- {node} ---");
         println!(
             "{:<24} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
             "design", "access", "retention", "BIPS", "mean dyn", "full dyn", "leakage"
         );
-        for r in &rows {
+        for r in rows.iter() {
             println!(
                 "{:<24} {:>10.0}ps {:>12} {:>10.2} {:>10.2}mW {:>10.2}mW {:>10.2}mW",
                 r.design.to_string(),
@@ -49,7 +59,7 @@ fn main() {
                 r.leakage.mw()
             );
         }
-        let saving = cache_power_saving(&rows);
+        let saving = cache_power_saving(rows);
         println!("total cache power saving (3T1D vs ideal 6T): {:.0}%", saving * 100.0);
         println!();
         if node == TechNode::N32 {

@@ -78,6 +78,25 @@ pub fn bar(frac: f64, width: usize) -> String {
     s
 }
 
+/// Minimum of a sample (`+∞` when empty) — the "worst chip" aggregations
+/// the figure binaries report.
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a sample (`-∞` when empty).
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Fraction of the sample strictly above `threshold` (0 when empty).
+pub fn frac_above(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v > threshold).count() as f64 / values.len() as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +106,24 @@ mod tests {
         assert_eq!(bar(0.5, 4), "##  ");
         assert_eq!(bar(2.0, 4), "####");
         assert_eq!(bar(-1.0, 4), "    ");
+    }
+
+    #[test]
+    fn min_max_handle_samples_and_empties() {
+        let v = [0.97, 1.02, 0.88, 1.0];
+        assert_eq!(min(&v), 0.88);
+        assert_eq!(max(&v), 1.02);
+        assert_eq!(min(&[]), f64::INFINITY);
+        assert_eq!(max(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn frac_above_is_strict_and_total() {
+        let v = [0.98, 0.99, 0.995, 1.0];
+        assert_eq!(frac_above(&v, 0.99), 0.5); // strict: 0.99 not counted
+        assert_eq!(frac_above(&v, 0.0), 1.0);
+        assert_eq!(frac_above(&v, 2.0), 0.0);
+        assert_eq!(frac_above(&[], 0.5), 0.0);
     }
 
     #[test]

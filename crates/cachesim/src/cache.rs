@@ -138,10 +138,12 @@ pub struct DataCache {
     cfg: CacheConfig,
     retention: RetentionProfile,
     lines: Vec<Line>,
-    /// Per-set way order, most recently used first.
-    recency: Vec<Vec<u8>>,
-    /// Per-set ways ordered by descending retention (alive ways first).
-    ret_order: Vec<Vec<u8>>,
+    /// Way order for every set, most recently used first, stored flat:
+    /// set `s` owns `recency[s * ways .. (s + 1) * ways]`.
+    recency: Vec<u8>,
+    /// Ways ordered by descending retention (alive ways first), stored
+    /// flat with the same `set * ways` indexing as `recency`.
+    ret_order: Vec<u8>,
     /// Per-set count of non-dead ways.
     alive: Vec<u8>,
     l2: L2Cache,
@@ -168,6 +170,10 @@ pub struct DataCache {
 /// refresh work blocks only its own pair.
 const PAIRS: usize = 4;
 
+/// Upper bound on associativity, so the victim path can stage a set's
+/// retention order in a stack buffer instead of a heap copy.
+const MAX_WAYS: usize = 16;
+
 impl DataCache {
     /// Creates a cache over a retention profile.
     ///
@@ -187,10 +193,18 @@ impl DataCache {
         }
         let sets = cfg.geometry.sets() as usize;
         let ways = cfg.geometry.ways();
-        let mut ret_order = Vec::with_capacity(sets);
+        assert!(
+            (ways as usize) <= MAX_WAYS,
+            "associativity {ways} exceeds MAX_WAYS ({MAX_WAYS})"
+        );
+        let mut ret_order = Vec::with_capacity(sets * ways as usize);
         let mut alive = Vec::with_capacity(sets);
+        let mut order = [0u8; MAX_WAYS];
         for set in 0..sets as u32 {
-            let mut order: Vec<u8> = (0..ways as u8).collect();
+            let order = &mut order[..ways as usize];
+            for (w, slot) in order.iter_mut().enumerate() {
+                *slot = w as u8;
+            }
             order.sort_by(|&a, &b| {
                 let ra = retention.cycles(cfg.geometry.line_index(set, a as u32));
                 let rb = retention.cycles(cfg.geometry.line_index(set, b as u32));
@@ -200,7 +214,7 @@ impl DataCache {
                 .iter()
                 .filter(|&&w| !retention.is_dead(cfg.geometry.line_index(set, w as u32), &cfg.counter))
                 .count() as u8;
-            ret_order.push(order);
+            ret_order.extend_from_slice(order);
             alive.push(alive_count);
         }
 
@@ -232,7 +246,7 @@ impl DataCache {
         };
         Self {
             lines: vec![Line::default(); cfg.geometry.lines() as usize],
-            recency: (0..sets).map(|_| (0..ways as u8).collect()).collect(),
+            recency: (0..sets).flat_map(|_| 0..ways as u8).collect(),
             ret_order,
             alive,
             l2: L2Cache::paper(),
@@ -699,10 +713,17 @@ impl DataCache {
         }
     }
 
+    /// Range of a set's slots in the flat `recency` / `ret_order` arrays.
+    fn set_range(&self, set: u32) -> std::ops::Range<usize> {
+        let ways = self.cfg.geometry.ways() as usize;
+        let base = set as usize * ways;
+        base..base + ways
+    }
+
     /// Victim selection: least recently used way; `alive_only` restricts
     /// the choice to non-dead ways (DSP). Prefers invalid ways.
     fn lru_victim(&self, set: u32, alive_only: bool) -> u32 {
-        let rec = &self.recency[set as usize];
+        let rec = &self.recency[self.set_range(set)];
         // Prefer an invalid candidate way.
         for &way in rec.iter().rev() {
             if alive_only && self.is_dead_way(set, way as u32) {
@@ -784,7 +805,14 @@ impl DataCache {
     /// retention). Returns extra latency from dirty-eviction stalls.
     fn rsp_fill(&mut self, cycle: u64, set: u32, tag: u64, kind: AccessKind) -> u32 {
         let alive = self.alive[set as usize] as usize;
-        let order: Vec<u8> = self.ret_order[set as usize][..alive].to_vec();
+        // Stage the alive prefix of the set's retention order in a stack
+        // buffer: the shift loop below mutates `self.lines`, so borrowing
+        // `self.ret_order` directly would not pass the borrow checker, and
+        // a heap `to_vec()` here sits on the victim path of every fill.
+        let base = self.set_range(set).start;
+        let mut order = [0u8; MAX_WAYS];
+        order[..alive].copy_from_slice(&self.ret_order[base..base + alive]);
+        let order = &order[..alive];
 
         // Find how deep the shift must go: up to the first invalid way, or
         // the whole alive span (evicting the last).
@@ -887,7 +915,7 @@ impl DataCache {
     /// retention way by swapping it with the current top occupant
     /// (two 8-cycle line moves; both lines are rewritten).
     fn rsp_lru_promote(&mut self, cycle: u64, set: u32, way: u32) {
-        let top_way = self.ret_order[set as usize][0] as u32;
+        let top_way = self.ret_order[self.set_range(set).start] as u32;
         if way == top_way {
             return;
         }
@@ -926,7 +954,8 @@ impl DataCache {
     }
 
     fn touch_recency(&mut self, set: u32, way: u32) {
-        let rec = &mut self.recency[set as usize];
+        let range = self.set_range(set);
+        let rec = &mut self.recency[range];
         if let Some(pos) = rec.iter().position(|&w| w as u32 == way) {
             rec[..=pos].rotate_right(1);
         }

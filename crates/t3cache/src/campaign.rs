@@ -1,0 +1,378 @@
+//! Parallel Monte-Carlo campaign engine.
+//!
+//! The paper's headline experiments (Figs. 6b, 9, 10, 11, 12; Table 3)
+//! all share one shape: a **campaign** of many mutually independent work
+//! units — typically one per `(chip, scheme)` pair — whose results are
+//! reported in a fixed order. This module fans those units across a scoped
+//! worker pool while keeping the output **bit-identical to a serial run**:
+//!
+//! * every unit's randomness derives from its own index (chip RNG streams
+//!   are seeded from `(base_seed, chip_k)` inside
+//!   [`vlsi::montecarlo::ChipFactory`], benchmark streams from
+//!   `(seed, bench_i)` and pre-recorded by the shared
+//!   [`crate::evaluate::Evaluator`]), so no unit observes another's
+//!   scheduling;
+//! * workers claim unit indices from a shared atomic counter
+//!   (work-stealing by index, so long units don't straggle a static
+//!   partition) and stash `(index, result)` pairs locally;
+//! * after the scope joins, results are merged into pre-indexed slots —
+//!   position `i` of the output always holds unit `i`'s result, whatever
+//!   thread or order computed it.
+//!
+//! The pool is `std::thread::scope`-based: no dependencies, no `unsafe`,
+//! borrows of the campaign's shared inputs (chip populations, recorded
+//! traces, baselines) work directly. Worker count comes from
+//! `PV3T1D_WORKERS` (useful both for `=1` serial baselines and CI caps)
+//! or [`std::thread::available_parallelism`].
+//!
+//! Each unit is also individually timed, so a campaign reports its wall
+//! clock next to the *estimated serial time* (the sum of unit times): the
+//! speedup banner the figure binaries print is measured, not assumed.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::chip::ChipModel;
+use crate::evaluate::{Evaluator, SuiteResult};
+use cachesim::Scheme;
+
+/// Environment variable overriding the worker count (`0` or unset ⇒
+/// auto-detect; `1` ⇒ a true serial run on the calling thread).
+pub const WORKERS_ENV: &str = "PV3T1D_WORKERS";
+
+/// The campaign worker count: `PV3T1D_WORKERS` if set and non-zero, else
+/// the host's available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var(WORKERS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Timing summary of one campaign run.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignReport {
+    /// Work units executed.
+    pub units: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock time of the whole fan-out (including the merge).
+    pub wall: Duration,
+    /// Sum of the individual unit times — what a serial loop over the
+    /// same units would have cost (modulo cache warmth).
+    pub serial_estimate: Duration,
+}
+
+impl CampaignReport {
+    /// Measured speedup: estimated serial time over wall-clock time.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall <= 0.0 {
+            return 1.0;
+        }
+        self.serial_estimate.as_secs_f64() / wall
+    }
+
+    /// Folds another fan-out's timing into this one (for binaries that run
+    /// several campaigns and report one aggregate banner): units, wall and
+    /// serial estimate add; the worker count takes the maximum.
+    pub fn absorb(&mut self, other: &CampaignReport) {
+        self.units += other.units;
+        self.workers = self.workers.max(other.workers);
+        self.wall += other.wall;
+        self.serial_estimate += other.serial_estimate;
+    }
+
+    /// An empty report to [`CampaignReport::absorb`] into.
+    pub fn empty() -> Self {
+        Self {
+            units: 0,
+            workers: 1,
+            wall: Duration::ZERO,
+            serial_estimate: Duration::ZERO,
+        }
+    }
+
+    /// One-line banner summary (`units`, `workers`, wall, speedup).
+    pub fn banner_line(&self) -> String {
+        format!(
+            "campaign: {} units on {} workers, wall {:.2}s, est. serial {:.2}s, speedup {:.2}x",
+            self.units,
+            self.workers,
+            self.wall.as_secs_f64(),
+            self.serial_estimate.as_secs_f64(),
+            self.speedup()
+        )
+    }
+}
+
+/// Fans `f(0..n)` across the campaign worker pool and returns the results
+/// in index order, plus the timing report.
+///
+/// Scheduling cannot reorder or tear results: unit `i`'s result lands in
+/// slot `i`, and `f` must derive any randomness from `i` alone (the
+/// workspace's chip factories and recorded benchmark streams do — see the
+/// module docs). With `PV3T1D_WORKERS=1` the units run on the calling
+/// thread in index order, which is the literal serial loop.
+pub fn map_indexed<R, F>(n: usize, f: F) -> (Vec<R>, CampaignReport)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    map_indexed_with_workers(n, worker_count(), f)
+}
+
+/// [`map_indexed`] with an explicit worker count (the determinism tests
+/// compare 1 vs N directly, without touching the environment).
+pub fn map_indexed_with_workers<R, F>(n: usize, workers: usize, f: F) -> (Vec<R>, CampaignReport)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1).min(n.max(1));
+    let start = Instant::now();
+
+    let run_units = |results: &mut Vec<(usize, R, Duration)>, next: &AtomicUsize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let t0 = Instant::now();
+        let r = f(i);
+        results.push((i, r, t0.elapsed()));
+    };
+
+    let next = AtomicUsize::new(0);
+    let mut batches: Vec<Vec<(usize, R, Duration)>> = if workers == 1 {
+        let mut local = Vec::with_capacity(n);
+        run_units(&mut local, &next);
+        vec![local]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        run_units(&mut local, &next);
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        })
+    };
+
+    // Merge into pre-indexed slots: output order is unit-index order, no
+    // matter which worker finished which unit when.
+    let mut serial_estimate = Duration::ZERO;
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for batch in &mut batches {
+        for (i, r, dt) in batch.drain(..) {
+            serial_estimate += dt;
+            debug_assert!(slots[i].is_none(), "unit {i} computed twice");
+            slots[i] = Some(r);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("unit {i} never ran")))
+        .collect();
+
+    let report = CampaignReport {
+        units: n,
+        workers,
+        wall: start.elapsed(),
+        serial_estimate,
+    };
+    (results, report)
+}
+
+/// One `(chip, scheme)` evaluation result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitResult {
+    /// Index of the chip within the campaign's chip slice.
+    pub chip: usize,
+    /// Index of the scheme within the campaign's scheme slice.
+    pub scheme: usize,
+    /// Performance normalized against the ideal-6T baseline.
+    pub perf: f64,
+    /// Dynamic power normalized against the ideal-6T baseline.
+    pub power: f64,
+}
+
+/// Results of a chips × schemes campaign, pre-indexed by scheme then chip.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// `grid[s][c]` is chip `c` under scheme `s`, in input order.
+    pub grid: Vec<Vec<(f64, f64)>>,
+    /// Timing of the fan-out.
+    pub report: CampaignReport,
+}
+
+impl CampaignResult {
+    /// The per-chip `(perf, power)` vector for one scheme, in chip order.
+    pub fn per_chip(&self, scheme: usize) -> &[(f64, f64)] {
+        &self.grid[scheme]
+    }
+
+    /// Per-chip normalized performances for one scheme.
+    pub fn perfs(&self, scheme: usize) -> Vec<f64> {
+        self.grid[scheme].iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Per-chip normalized dynamic powers for one scheme.
+    pub fn powers(&self, scheme: usize) -> Vec<f64> {
+        self.grid[scheme].iter().map(|&(_, p)| p).collect()
+    }
+}
+
+/// Evaluates every chip under every scheme (4-way, normalized against
+/// `ideal`), fanning the `chips.len() × schemes.len()` independent units
+/// across the worker pool.
+///
+/// Equivalent to — and bit-identical with — the serial nested loop
+/// `for scheme in schemes { for chip in chips { evaluate_chip(..) } }`.
+pub fn evaluate_grid(
+    eval: &Evaluator,
+    chips: &[&ChipModel],
+    schemes: &[Scheme],
+    ideal: &SuiteResult,
+) -> CampaignResult {
+    evaluate_grid_with_workers(eval, chips, schemes, ideal, worker_count())
+}
+
+/// [`evaluate_grid`] with an explicit worker count.
+pub fn evaluate_grid_with_workers(
+    eval: &Evaluator,
+    chips: &[&ChipModel],
+    schemes: &[Scheme],
+    ideal: &SuiteResult,
+    workers: usize,
+) -> CampaignResult {
+    let n_chips = chips.len();
+    let units = n_chips * schemes.len();
+    // Pre-record the shared benchmark streams before fanning out, so unit
+    // timings measure evaluation, not a one-off recording race.
+    eval.warm_traces();
+    let (flat, report) = map_indexed_with_workers(units, workers, |i| {
+        let (s, c) = (i / n_chips, i % n_chips);
+        eval.evaluate_chip(chips[c], schemes[s], ideal)
+    });
+    let mut grid = Vec::with_capacity(schemes.len());
+    let mut it = flat.into_iter();
+    for _ in 0..schemes.len() {
+        grid.push(it.by_ref().take(n_chips).collect());
+    }
+    CampaignResult { grid, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chip::ChipPopulation;
+    use crate::evaluate::EvalConfig;
+    use vlsi::tech::TechNode;
+    use vlsi::variation::VariationCorner;
+    use workloads::SpecBenchmark;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for workers in [1, 2, 5] {
+            let (out, report) =
+                map_indexed_with_workers(100, workers, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(report.units, 100);
+            assert!(report.workers <= workers.max(1));
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single() {
+        let (out, report) = map_indexed_with_workers(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(report.units, 0);
+        let (out, _) = map_indexed_with_workers(1, 4, |i| i + 7);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn speedup_is_serial_over_wall() {
+        let r = CampaignReport {
+            units: 4,
+            workers: 2,
+            wall: Duration::from_millis(500),
+            serial_estimate: Duration::from_millis(1500),
+        };
+        assert!((r.speedup() - 3.0).abs() < 1e-9);
+        assert!(r.banner_line().contains("3.00x"));
+    }
+
+    /// The headline determinism regression: a campaign on one worker and
+    /// on many workers produces byte-identical per-chip `(perf, power)`
+    /// vectors from the same seed.
+    #[test]
+    fn parallel_grid_is_bit_identical_to_serial() {
+        let pop = ChipPopulation::generate(
+            TechNode::N32,
+            VariationCorner::Severe.params(),
+            3,
+            424,
+        );
+        let chips: Vec<&ChipModel> = pop.chips().iter().collect();
+        let schemes = [Scheme::no_refresh_lru(), Scheme::rsp_fifo()];
+        let eval = Evaluator::new(EvalConfig {
+            benchmarks: vec![SpecBenchmark::Gzip, SpecBenchmark::Mcf],
+            ..EvalConfig::quick()
+        });
+        let ideal = eval.run_ideal(4);
+
+        let serial = evaluate_grid_with_workers(&eval, &chips, &schemes, &ideal, 1);
+        let parallel = evaluate_grid_with_workers(&eval, &chips, &schemes, &ideal, 4);
+        // Bit-identical, not approximately equal: compare the raw f64s.
+        assert_eq!(serial.grid, parallel.grid);
+
+        // And identical to the plain serial nested loop over evaluate_chip.
+        for (s, &scheme) in schemes.iter().enumerate() {
+            for (c, chip) in chips.iter().enumerate() {
+                assert_eq!(
+                    parallel.grid[s][c],
+                    eval.evaluate_chip(chip, scheme, &ideal),
+                    "scheme {s} chip {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn population_generation_is_worker_count_invariant() {
+        let serial = ChipPopulation::generate_with_workers(
+            TechNode::N32,
+            VariationCorner::Typical.params(),
+            6,
+            77,
+            1,
+        );
+        let parallel = ChipPopulation::generate_with_workers(
+            TechNode::N32,
+            VariationCorner::Typical.params(),
+            6,
+            77,
+            4,
+        );
+        for (a, b) in serial.chips().iter().zip(parallel.chips()) {
+            assert_eq!(a.retention_times(), b.retention_times());
+            assert_eq!(a.index(), b.index());
+        }
+    }
+}

@@ -143,12 +143,30 @@ pub struct ChipPopulation {
 }
 
 impl ChipPopulation {
-    /// Generates `count` chips for a node and variation scenario.
+    /// Generates `count` chips for a node and variation scenario, fanning
+    /// the per-chip Monte-Carlo sampling across the campaign worker pool.
+    ///
+    /// Chip `i`'s RNG streams are seeded from `(seed, i)` alone, so the
+    /// population is identical whatever the worker count (pinned by the
+    /// campaign determinism tests).
     pub fn generate(node: TechNode, params: VariationParams, count: u32, seed: u64) -> Self {
+        Self::generate_with_workers(node, params, count, seed, crate::campaign::worker_count())
+    }
+
+    /// [`ChipPopulation::generate`] with an explicit worker count.
+    pub fn generate_with_workers(
+        node: TechNode,
+        params: VariationParams,
+        count: u32,
+        seed: u64,
+        workers: usize,
+    ) -> Self {
         let factory = ChipFactory::new(node, params, seed);
-        let chips = (0..count)
-            .map(|i| ChipModel::new(&factory.chip(i)))
-            .collect();
+        let (chips, _report) = crate::campaign::map_indexed_with_workers(
+            count as usize,
+            workers,
+            |i| ChipModel::new(&factory.chip(i as u32)),
+        );
         Self { node, chips }
     }
 

@@ -15,7 +15,8 @@ use vlsi::power::MemKind;
 use vlsi::stats::harmonic_mean;
 use vlsi::tech::TechNode;
 use vlsi::units::{Power, Time};
-use workloads::{SpecBenchmark, SyntheticTrace};
+use std::sync::OnceLock;
+use workloads::{RecordedTrace, SpecBenchmark};
 
 /// Configuration of an evaluation campaign.
 #[derive(Debug, Clone)]
@@ -159,20 +160,66 @@ impl SuiteResult {
 }
 
 /// Runs benchmark suites against cache configurations.
+///
+/// The benchmark instruction streams depend only on the configuration (not
+/// on the cache under test), so the evaluator records each stream **once**
+/// on first use and replays the shared read-only recording for every
+/// subsequent suite — including concurrent suites in a
+/// [`crate::campaign`] run, where the lazily-initialized recordings are
+/// shared across worker threads.
 #[derive(Debug, Clone)]
 pub struct Evaluator {
     cfg: EvalConfig,
+    /// Per-benchmark recorded streams, in `cfg.benchmarks` order; recorded
+    /// lazily by the first suite run (thread-safe, recorded exactly once).
+    traces: OnceLock<Vec<RecordedTrace>>,
 }
 
 impl Evaluator {
     /// Creates an evaluator.
     pub fn new(cfg: EvalConfig) -> Self {
-        Self { cfg }
+        Self {
+            cfg,
+            traces: OnceLock::new(),
+        }
     }
 
     /// The configuration.
     pub fn config(&self) -> &EvalConfig {
         &self.cfg
+    }
+
+    /// The shared per-benchmark recordings, recording them on first use.
+    ///
+    /// The recorded prefix covers warmup + measurement plus the pipeline's
+    /// bounded in-flight tail (the ROB caps fetch-ahead); [`ReplayTrace`]
+    /// panics rather than wrap if that invariant is ever violated.
+    ///
+    /// [`ReplayTrace`]: workloads::ReplayTrace
+    fn recorded_traces(&self) -> &[RecordedTrace] {
+        self.traces.get_or_init(|| {
+            let slack = 2 * self.cfg.machine.rob_entries as u64 + 1024;
+            let len = self.cfg.warmup + self.cfg.instructions + slack;
+            self.cfg
+                .benchmarks
+                .iter()
+                .enumerate()
+                .map(|(i, &bench)| {
+                    RecordedTrace::record(
+                        bench.profile(),
+                        self.cfg.seed ^ ((i as u64 + 1) << 20),
+                        len,
+                    )
+                })
+                .collect()
+        })
+    }
+
+    /// Records the shared benchmark streams now if they aren't already
+    /// (idempotent). Campaigns call this before fanning out so worker
+    /// timings measure evaluation, not the one-off recording.
+    pub fn warm_traces(&self) {
+        let _ = self.recorded_traces();
     }
 
     /// Runs the suite, building a fresh cache per benchmark via `make`.
@@ -181,19 +228,17 @@ impl Evaluator {
             .cfg
             .benchmarks
             .iter()
-            .enumerate()
-            .map(|(i, &bench)| {
-                let mut trace =
-                    SyntheticTrace::new(bench.profile(), self.cfg.seed ^ ((i as u64 + 1) << 20));
+            .zip(self.recorded_traces())
+            .map(|(&bench, recorded)| {
+                let mut trace = recorded.replay();
                 let mut cache = make();
-                let icache = trace.icache_miss_rate();
                 let (sim, cache_stats) = simulate_warmed_with(
                     self.cfg.machine,
                     &mut trace,
                     &mut cache,
                     self.cfg.warmup,
                     self.cfg.instructions,
-                    icache,
+                    recorded.icache_miss_rate(),
                 );
                 BenchRun {
                     bench,

@@ -7,6 +7,9 @@
 //! benchmark streams. On top of that substrate it implements the paper's
 //! evaluation machinery:
 //!
+//! * [`campaign`] — the parallel Monte-Carlo campaign engine fanning
+//!   independent `(chip, scheme)` work units across a worker pool with
+//!   serial-identical output;
 //! * [`chip`] — architecture-facing chip models, populations, and the
 //!   good/median/bad exemplar selection of §4.3;
 //! * [`evaluate`] — scheme × chip × benchmark-suite evaluation with the
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod chip;
 pub mod evaluate;
 pub mod rescue;
@@ -43,6 +47,7 @@ pub mod sensitivity;
 pub mod table3;
 pub mod wordlevel;
 
+pub use campaign::{evaluate_grid, map_indexed, CampaignReport, CampaignResult};
 pub use chip::{ChipGrade, ChipModel, ChipPopulation};
 pub use rescue::{cache_yield, rescue_report, RescueMechanism, RescueReport};
 pub use wordlevel::{line_level_demand, word_level_demand, word_vs_line, RefreshDemand};

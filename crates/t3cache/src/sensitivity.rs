@@ -120,7 +120,21 @@ impl SensitivitySweep {
         scheme: Scheme,
         ideal: &SuiteResult,
     ) -> Vec<SensitivityPoint> {
-        let mut out = Vec::with_capacity(self.mus.len() * self.ratios.len());
+        self.run_timed(eval, scheme, ideal).0
+    }
+
+    /// [`SensitivitySweep::run`] with the campaign timing report.
+    ///
+    /// Each grid point is one independent work unit — its synthetic
+    /// profiles are seeded from `(seed, µ, σ/µ, chip)` alone — fanned
+    /// across the [`crate::campaign`] worker pool; the returned points are
+    /// in the same row-major order as a serial double loop, bit-identical.
+    pub fn run_timed(
+        &self,
+        eval: &Evaluator,
+        scheme: Scheme,
+        ideal: &SuiteResult,
+    ) -> (Vec<SensitivityPoint>, crate::campaign::CampaignReport) {
         // One counter design across the surface: the standard 1024-cycle
         // step (so the dead-line threshold is a fixed physical quantity —
         // the source of the σ/µ > 25 % cliff) with enough bits to cover
@@ -129,30 +143,31 @@ impl SensitivitySweep {
             step_cycles: 1024,
             bits: 5,
         };
-        for &mu in &self.mus {
-            for &ratio in &self.ratios {
-                let mut perf_sum = 0.0;
-                let mut dead_sum = 0.0;
-                for c in 0..self.chips_per_point {
-                    let profile = synthetic_profile(
-                        mu,
-                        ratio,
-                        1024,
-                        self.seed ^ (mu << 8) ^ ((ratio * 1000.0) as u64) ^ (c as u64) << 40,
-                    );
-                    dead_sum += profile.dead_fraction(&counter);
-                    let suite = eval.run_scheme_custom(&profile, scheme, 4, counter);
-                    perf_sum += suite.normalized_performance(ideal, 1.0);
-                }
-                out.push(SensitivityPoint {
-                    mu_cycles: mu,
-                    sigma_over_mu: ratio,
-                    performance: perf_sum / self.chips_per_point as f64,
-                    dead_fraction: dead_sum / self.chips_per_point as f64,
-                });
+        eval.warm_traces();
+        let n_ratios = self.ratios.len();
+        crate::campaign::map_indexed(self.mus.len() * n_ratios, |i| {
+            let mu = self.mus[i / n_ratios];
+            let ratio = self.ratios[i % n_ratios];
+            let mut perf_sum = 0.0;
+            let mut dead_sum = 0.0;
+            for c in 0..self.chips_per_point {
+                let profile = synthetic_profile(
+                    mu,
+                    ratio,
+                    1024,
+                    self.seed ^ (mu << 8) ^ ((ratio * 1000.0) as u64) ^ (c as u64) << 40,
+                );
+                dead_sum += profile.dead_fraction(&counter);
+                let suite = eval.run_scheme_custom(&profile, scheme, 4, counter);
+                perf_sum += suite.normalized_performance(ideal, 1.0);
             }
-        }
-        out
+            SensitivityPoint {
+                mu_cycles: mu,
+                sigma_over_mu: ratio,
+                performance: perf_sum / self.chips_per_point as f64,
+                dead_fraction: dead_sum / self.chips_per_point as f64,
+            }
+        })
     }
 }
 

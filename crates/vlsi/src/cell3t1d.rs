@@ -37,6 +37,7 @@ use crate::calib::{
 use crate::tech::{thermal_voltage, TechNode};
 use crate::units::{Time, Voltage};
 use crate::variation::DeviceDeviation;
+use std::sync::LazyLock;
 
 /// The voltage initially stored for a "1" through write transistor T1
 /// (degraded by the body-affected threshold drop; the boosted write
@@ -97,6 +98,124 @@ pub fn retention_time(node: TechNode, dev_t1: DeviceDeviation, dev_t2: DeviceDev
     }
     let tau = decay_tau(node, dev_t1);
     Time::new(tau.value() * (v0 / vmin).ln())
+}
+
+// --- Fast per-node retention solver ---------------------------------------
+//
+// `retention_time` is called once per cell in the Monte-Carlo sampling loops
+// (1024 lines × 544 cells ≈ 557 k solves per chip product). Most of its work
+// is node-constant: the nominal stored level, `V_min_nom`, `τ₀`, and the
+// subthreshold slope never change within a chip. `RetentionSolver` hoists
+// all of those out of the loop and replaces the remaining transcendental
+// solve with one `ln` plus one table-interpolated `exp`.
+//
+// Accuracy contract (pinned by tests below): the solver classifies
+// dead/alive cells by the sign of the *log-domain margin*
+// `ln V₀ − (ln V_min_nom + exponent)`, which is algebraically identical to
+// `V₀ ≤ V_min`, and reproduces `retention_time` to ≤1e-9 relative error on
+// alive cells (the only approximation is the τ exponential, interpolated to
+// ~2e-12 relative error). Dead cells return exactly `Time::ZERO` on both
+// paths.
+
+/// Number of intervals in the shared `exp` interpolation table.
+const EXP_TABLE_N: usize = 4096;
+/// Domain covered by the table — callers clamp harder (±30 for τ, ±20 for
+/// the V_min exponent), so this range is never exceeded.
+const EXP_TABLE_MIN: f64 = -30.0;
+const EXP_TABLE_MAX: f64 = 30.0;
+const EXP_TABLE_STEP: f64 = (EXP_TABLE_MAX - EXP_TABLE_MIN) / EXP_TABLE_N as f64;
+
+/// `exp` at each table node, shared process-wide (built once, ~32 KiB).
+static EXP_TABLE: LazyLock<Vec<f64>> = LazyLock::new(|| {
+    (0..=EXP_TABLE_N)
+        .map(|i| (EXP_TABLE_MIN + i as f64 * EXP_TABLE_STEP).exp())
+        .collect()
+});
+
+/// Interpolated `exp(x)` for `x` within the table domain: anchor at the
+/// table node below `x`, then a cubic Taylor correction for the sub-step
+/// offset. Max relative error ≈ step⁴/24 ≈ 2e-12.
+#[inline]
+fn exp_interp(x: f64) -> f64 {
+    debug_assert!((EXP_TABLE_MIN..=EXP_TABLE_MAX).contains(&x));
+    let t = (x - EXP_TABLE_MIN) / EXP_TABLE_STEP;
+    let i = (t as usize).min(EXP_TABLE_N - 1);
+    let dx = x - (EXP_TABLE_MIN + i as f64 * EXP_TABLE_STEP);
+    // Quartic Taylor correction: with dx < step ≈ 0.0147, the remainder
+    // step⁵/120 bounds the relative error below 6e-12.
+    EXP_TABLE[i] * (1.0 + dx * (1.0 + dx * (0.5 + dx * (1.0 / 6.0 + dx * (1.0 / 24.0)))))
+}
+
+/// Precomputed per-node retention solve: everything in [`retention_time`]
+/// that does not depend on the individual cell's deviations, hoisted out of
+/// the 557 k-cell Monte-Carlo inner loop.
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionSolver {
+    /// `V_dd − k·V_th_nom` — the deviation-free part of the stored "1".
+    v0_base: f64,
+    /// `V_th_nom · SCE_COUPLING`: ΔL→ΔVth coupling slope.
+    sce_vth: f64,
+    /// `1 / V_th_nom` (normalizes the read-path random deviation).
+    inv_vth_nom: f64,
+    /// `ln V_min_nom` — the log-domain anchor of the timing floor.
+    ln_vmin_nom: f64,
+    /// `τ₀ = t_ret_nom / ln(V₀/V_min)_nom`.
+    tau0: f64,
+    /// `n·v_T` of the subthreshold slope.
+    nvt: f64,
+    /// Variation-insensitive leakage fraction ρ.
+    rho: f64,
+}
+
+impl RetentionSolver {
+    /// Precompute the node-wide constants of the retention model so that
+    /// [`RetentionSolver::retention`] only does per-cell arithmetic.
+    pub fn new(node: TechNode) -> Self {
+        let vth_nom = node.vth_nominal().volts();
+        let v0_nom = stored_one_voltage(node, DeviceDeviation::NOMINAL).volts();
+        let vmin_nom = v0_nom * (-RETENTION_LOG_MARGIN).exp();
+        assert!(vmin_nom > 0.0, "node {node} stores no usable level");
+        RetentionSolver {
+            v0_base: node.vdd().volts() - WRITE_BODY_FACTOR * vth_nom,
+            sce_vth: vth_nom * crate::variation::SCE_COUPLING,
+            inv_vth_nom: 1.0 / vth_nom,
+            ln_vmin_nom: vmin_nom.ln(),
+            tau0: calib::nominal_retention(node).value() / RETENTION_LOG_MARGIN,
+            nvt: calib::RETENTION_SLOPE_IDEALITY * thermal_voltage().volts(),
+            rho: RETENTION_LEAK_INSENSITIVE_FRAC,
+        }
+    }
+
+    /// Retention time from raw deviation components: the shared correlated
+    /// ΔL/L at the cell position plus the two random-dopant Vth draws (in
+    /// volts) of the write (T1) and read (T2) transistors.
+    ///
+    /// Equivalent to [`retention_time`] with
+    /// `DeviceDeviation { dl_frac: dl, dvth_random: dvth1/dvth2 }` — see the
+    /// accuracy contract above.
+    #[inline]
+    pub fn retention(&self, dl: f64, dvth1_volts: f64, dvth2_volts: f64) -> Time {
+        // V₀ through the write path.
+        let vth_total1 = dvth1_volts + self.sce_vth * dl;
+        let v0 = self.v0_base - calib::V0_WRITE_VTH_COUPLING * vth_total1;
+        if v0 <= 0.0 {
+            return Time::ZERO;
+        }
+        // Log-domain timing floor through the read path.
+        let x_hat = dvth2_volts * self.inv_vth_nom;
+        let exponent = (calib::VMIN_LIN_SENS * x_hat
+            + calib::VMIN_QUAD_SENS * x_hat.max(0.0).powi(2)
+            + calib::VMIN_DL_SENS * dl)
+            .clamp(-20.0, 20.0);
+        let margin = v0.ln() - (self.ln_vmin_nom + exponent);
+        if margin <= 0.0 {
+            return Time::ZERO;
+        }
+        // Decay constant through the write path's subthreshold leakage.
+        let x = (-vth_total1 / self.nvt - LAMBDA_RETENTION * dl).clamp(-30.0, 30.0);
+        let tau = self.tau0 / (self.rho + (1.0 - self.rho) * exp_interp(x));
+        Time::new(tau * margin)
+    }
 }
 
 /// Multiplier on retention time when the die runs at `temp_c` instead of
@@ -362,6 +481,57 @@ mod tests {
                                      DeviceDeviation::NOMINAL, 50.0);
         assert!(hot < test && test < cool);
         assert!((test.ns() - 6_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn exp_interp_is_accurate_over_full_domain() {
+        // 40 001 points across [-30, 30], off-node on purpose.
+        for i in 0..=40_000 {
+            let x = EXP_TABLE_MIN + (EXP_TABLE_MAX - EXP_TABLE_MIN) * i as f64 / 40_000.0;
+            let exact = x.exp();
+            let approx = exp_interp(x);
+            assert!(
+                (approx - exact).abs() <= 1e-11 * exact,
+                "x={x}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn solver_matches_exact_retention_time() {
+        for node in [TechNode::N65, TechNode::N45, TechNode::N32] {
+            let solver = RetentionSolver::new(node);
+            // Deterministic grid spanning ±5σ-ish deviations, including the
+            // dead-cell regime.
+            for i in 0..25 {
+                let dl = -0.18 + 0.015 * i as f64;
+                for j in 0..31 {
+                    let mv1 = -225.0 + 15.0 * j as f64;
+                    for k in 0..31 {
+                        let mv2 = -225.0 + 15.0 * k as f64;
+                        let t1 = dev(dl, mv1);
+                        let t2 = dev(dl, mv2);
+                        let exact = retention_time(node, t1, t2);
+                        let fast = solver.retention(
+                            dl,
+                            Voltage::from_mv(mv1).volts(),
+                            Voltage::from_mv(mv2).volts(),
+                        );
+                        if exact == Time::ZERO {
+                            assert_eq!(fast, Time::ZERO, "{node} dl={dl} mv1={mv1} mv2={mv2}");
+                        } else {
+                            let tol = (1e-9 * exact.value()).max(Time::from_ns(1e-6).value());
+                            assert!(
+                                (fast.value() - exact.value()).abs() <= tol,
+                                "{node} dl={dl} mv1={mv1} mv2={mv2}: fast {} vs exact {} ns",
+                                fast.ns(),
+                                exact.ns()
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! ```
 
 use crate::array::ArrayLayout;
-use crate::cell3t1d;
+use crate::cell3t1d::{self, RetentionSolver};
 use crate::cell6t::{self, CellSize};
 use crate::leakage;
 use crate::math::{sample_min_of_normals, sample_standard_normal};
@@ -38,7 +38,8 @@ use crate::tech::TechNode;
 use crate::units::{Power, Time, Voltage};
 use crate::variation::{DeviceDeviation, VariationParams};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
+use std::sync::OnceLock;
 
 /// Quad-tree depth used throughout (the paper's 3-level model).
 pub const QUADTREE_LEVELS: usize = 3;
@@ -103,6 +104,8 @@ impl ChipFactory {
             d2d_dl_frac,
             field,
             cell_seed: splitmix(chip_seed),
+            retentions: OnceLock::new(),
+            word_map: OnceLock::new(),
         }
     }
 
@@ -121,6 +124,11 @@ fn splitmix(mut z: u64) -> u64 {
 }
 
 /// One fabricated chip instance: the variation state of its L1D cache.
+///
+/// Expensive architectural products (the 557 k-cell retention samplings) are
+/// memoized per instance: the retention field of a physical chip is a fact
+/// about the silicon, so the first query samples it and every later query is
+/// O(1). Cloning a chip clones any already-materialized products with it.
 #[derive(Debug, Clone)]
 pub struct Chip {
     node: TechNode,
@@ -130,6 +138,11 @@ pub struct Chip {
     d2d_dl_frac: f64,
     field: QuadTreeField,
     cell_seed: u64,
+    /// Memoized [`Chip::line_retentions`] product.
+    retentions: OnceLock<Vec<Time>>,
+    /// Memoized [`Chip::word_retention_map`] product, keyed by the
+    /// granularity it was first requested at.
+    word_map: OnceLock<(u32, WordRetentionMap)>,
 }
 
 impl Chip {
@@ -167,10 +180,47 @@ impl Chip {
     /// Per-line retention times: for each of the cache's lines, the minimum
     /// retention over its data and tag cells (the line must hold every bit).
     ///
-    /// This is the exact per-cell path: every cell draws its own T1/T2
-    /// random-dopant deviations and reads the correlated ΔL field at its
-    /// die position.
+    /// Memoized: the first call samples the retention field through the
+    /// per-node [`RetentionSolver`] fast path; later calls return a copy of
+    /// the cached product in O(lines). Use
+    /// [`Chip::line_retentions_cached`] for the copy-free O(1) view.
     pub fn line_retentions(&self) -> Vec<Time> {
+        self.line_retentions_cached().to_vec()
+    }
+
+    /// Borrowed view of the memoized per-line retention product. The first
+    /// call on a chip samples ~557 k cells; every later call is O(1).
+    pub fn line_retentions_cached(&self) -> &[Time] {
+        self.retentions.get_or_init(|| {
+            let solver = RetentionSolver::new(self.node);
+            self.sample_line_retentions(|dl, dvth1, dvth2| solver.retention(dl, dvth1, dvth2))
+        })
+    }
+
+    /// The exact reference path: every cell solved with
+    /// [`cell3t1d::retention_time`], never cached. Consumes the RNG stream
+    /// draw-for-draw like the fast path; the test-suite pins the two
+    /// against each other (the memoization golden test).
+    pub fn line_retentions_uncached(&self) -> Vec<Time> {
+        self.sample_line_retentions(|dl, dvth1, dvth2| {
+            let t1 = DeviceDeviation {
+                dl_frac: dl,
+                dvth_random: Voltage::new(dvth1),
+            };
+            let t2 = DeviceDeviation {
+                dl_frac: dl,
+                dvth_random: Voltage::new(dvth2),
+            };
+            cell3t1d::retention_time(self.node, t1, t2)
+        })
+    }
+
+    /// Shared sampling loop behind both retention paths: draws each cell's
+    /// T1/T2 random-dopant deviations in a fixed stream order and lets
+    /// `ret` solve the cell. A line that is already dead stops scanning
+    /// early — the skipped draws are part of the stream contract both
+    /// paths share.
+    fn sample_line_retentions(&self, mut ret: impl FnMut(f64, f64, f64) -> Time) -> Vec<Time> {
         let mut rng = self.rng_for(RETENTION_PURPOSE);
         let sigma_vth = self.params.sigma_vth(self.node).volts();
         let lines = self.layout.lines();
@@ -183,17 +233,11 @@ impl Chip {
             for bit in 0..cells {
                 let (x, y) = self.layout.cell_position(line, bit);
                 let dl = self.dl_at(x, y);
-                let t1 = DeviceDeviation {
-                    dl_frac: dl,
-                    dvth_random: Voltage::new(sigma_vth * sample_standard_normal(&mut rng)),
-                };
-                let t2 = DeviceDeviation {
-                    dl_frac: dl,
-                    dvth_random: Voltage::new(sigma_vth * sample_standard_normal(&mut rng)),
-                };
-                let ret = cell3t1d::retention_time(self.node, t1, t2);
-                if ret < min_ret {
-                    min_ret = ret;
+                let dvth1 = sigma_vth * sample_standard_normal(&mut rng);
+                let dvth2 = sigma_vth * sample_standard_normal(&mut rng);
+                let r = ret(dl, dvth1, dvth2);
+                if r < min_ret {
+                    min_ret = r;
                     if min_ret == Time::ZERO {
                         break; // line already dead; no need to scan further
                     }
@@ -213,17 +257,50 @@ impl Chip {
     /// Drawn from an independent RNG stream of the same distribution as
     /// [`Chip::line_retentions`].
     ///
+    /// Memoized like [`Chip::line_retentions`] (keyed by the granularity of
+    /// the first request; other granularities are computed fresh).
+    ///
     /// # Panics
     ///
     /// Panics unless `words_per_line` divides the line's data bits.
     pub fn word_retention_map(&self, words_per_line: u32) -> WordRetentionMap {
+        let (cached_wpl, map) = self
+            .word_map
+            .get_or_init(|| (words_per_line, self.sample_word_retention_map(words_per_line)));
+        if *cached_wpl == words_per_line {
+            map.clone()
+        } else {
+            self.sample_word_retention_map(words_per_line)
+        }
+    }
+
+    fn sample_word_retention_map(&self, words_per_line: u32) -> WordRetentionMap {
+        let mut rng = self.rng_for(WORD_RETENTION_PURPOSE);
+        self.word_map_with_rng(words_per_line, &mut rng, true)
+    }
+
+    /// Core word-map sampling loop.
+    ///
+    /// Unlike the line loop, a dead word must not stop the scan (its
+    /// neighbors' words are still live), so the fast path elides only the
+    /// per-cell *solve* once the target word (or tag) is already dead —
+    /// while **always consuming both normal draws**, keeping the RNG stream
+    /// position after every cell independent of `skip_dead_solves`. The
+    /// test-suite pins both the resulting map and the draw count against
+    /// the no-skip reference.
+    fn word_map_with_rng<R: RngCore>(
+        &self,
+        words_per_line: u32,
+        rng: &mut R,
+        skip_dead_solves: bool,
+    ) -> WordRetentionMap {
         let bits = self.layout.bits_per_line();
         assert!(
             words_per_line >= 1 && bits.is_multiple_of(words_per_line),
             "words_per_line must divide {bits}"
         );
         let bits_per_word = bits / words_per_line;
-        let mut rng = self.rng_for(WORD_RETENTION_PURPOSE);
+        let solver = RetentionSolver::new(self.node);
         let sigma_vth = self.params.sigma_vth(self.node).volts();
         let lines = self.layout.lines();
         let cells = self.layout.cells_per_line();
@@ -233,24 +310,21 @@ impl Chip {
             let mut word_min = vec![Time::from_us(f64::INFINITY); words_per_line as usize];
             let mut tag_min = Time::from_us(f64::INFINITY);
             for bit in 0..cells {
+                let dvth1 = sigma_vth * sample_standard_normal(rng);
+                let dvth2 = sigma_vth * sample_standard_normal(rng);
+                let slot = if bit < bits {
+                    &mut word_min[(bit / bits_per_word) as usize]
+                } else {
+                    &mut tag_min
+                };
+                if skip_dead_solves && *slot == Time::ZERO {
+                    continue; // draws above keep the stream aligned
+                }
                 let (x, y) = self.layout.cell_position(line, bit);
                 let dl = self.dl_at(x, y);
-                let t1 = DeviceDeviation {
-                    dl_frac: dl,
-                    dvth_random: Voltage::new(sigma_vth * sample_standard_normal(&mut rng)),
-                };
-                let t2 = DeviceDeviation {
-                    dl_frac: dl,
-                    dvth_random: Voltage::new(sigma_vth * sample_standard_normal(&mut rng)),
-                };
-                let ret = cell3t1d::retention_time(self.node, t1, t2);
-                if bit < bits {
-                    let w = (bit / bits_per_word) as usize;
-                    if ret < word_min[w] {
-                        word_min[w] = ret;
-                    }
-                } else if ret < tag_min {
-                    tag_min = ret;
+                let ret = solver.retention(dl, dvth1, dvth2);
+                if ret < *slot {
+                    *slot = ret;
                 }
             }
             words.push(word_min);
@@ -264,8 +338,9 @@ impl Chip {
     /// with the shortest retention time determines the retention time of
     /// the entire structure").
     pub fn cache_retention(&self) -> Time {
-        self.line_retentions()
-            .into_iter()
+        self.line_retentions_cached()
+            .iter()
+            .copied()
             .fold(Time::from_us(f64::INFINITY), Time::min)
     }
 
@@ -595,6 +670,126 @@ mod tests {
     fn word_map_is_deterministic() {
         let f = typical_factory(43);
         assert_eq!(f.chip(2).word_retention_map(8), f.chip(2).word_retention_map(8));
+    }
+
+    /// Counts the u64 words a wrapped generator hands out.
+    struct CountingRng<'a> {
+        inner: &'a mut SmallRng,
+        draws: u64,
+    }
+
+    impl RngCore for CountingRng<'_> {
+        fn next_u32(&mut self) -> u32 {
+            self.draws += 1;
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.inner.fill_bytes(dest)
+        }
+    }
+
+    #[test]
+    fn memoized_fast_path_matches_exact_reference() {
+        // Golden test: the memoized solver-based product must match the
+        // exact per-cell `cell3t1d::retention_time` path — dead lines
+        // exactly, live lines to solver accuracy.
+        for corner in [VariationCorner::Typical, VariationCorner::Severe] {
+            let f = ChipFactory::new(TechNode::N32, corner.params(), 71);
+            for i in 0..3 {
+                let chip = f.chip(i);
+                let fast = chip.line_retentions();
+                let exact = chip.line_retentions_uncached();
+                assert_eq!(fast.len(), exact.len());
+                for (line, (a, b)) in fast.iter().zip(&exact).enumerate() {
+                    assert_eq!(
+                        (*a == Time::ZERO),
+                        (*b == Time::ZERO),
+                        "chip {i} line {line}: dead/alive mismatch ({} vs {} ns)",
+                        a.ns(),
+                        b.ns()
+                    );
+                    let tol = (1e-9 * b.ns()).max(1e-6);
+                    assert!(
+                        (a.ns() - b.ns()).abs() <= tol,
+                        "chip {i} line {line}: fast {} vs exact {} ns",
+                        a.ns(),
+                        b.ns()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn line_retentions_are_memoized() {
+        let f = typical_factory(91);
+        let chip = f.chip(0);
+        let first = chip.line_retentions_cached();
+        let second = chip.line_retentions_cached();
+        // Same allocation ⇒ the second call touched no RNG and did no
+        // sampling: it is O(1).
+        assert!(
+            std::ptr::eq(first.as_ptr(), second.as_ptr()),
+            "second call must return the cached slice"
+        );
+        assert_eq!(chip.line_retentions(), first.to_vec());
+    }
+
+    #[test]
+    fn word_map_skip_consumes_identical_draws() {
+        // Severe corner → plenty of dead cells for the skip path to elide.
+        let f = ChipFactory::new(TechNode::N32, VariationCorner::Severe.params(), 17);
+        let chip = f.chip(1);
+
+        let mut rng_skip = chip.rng_for(WORD_RETENTION_PURPOSE);
+        let mut counted_skip = CountingRng {
+            inner: &mut rng_skip,
+            draws: 0,
+        };
+        let skip = chip.word_map_with_rng(8, &mut counted_skip, true);
+        let skip_draws = counted_skip.draws;
+
+        let mut rng_full = chip.rng_for(WORD_RETENTION_PURPOSE);
+        let mut counted_full = CountingRng {
+            inner: &mut rng_full,
+            draws: 0,
+        };
+        let full = chip.word_map_with_rng(8, &mut counted_full, false);
+        let full_draws = counted_full.draws;
+
+        assert_eq!(
+            skip_draws, full_draws,
+            "dead-solve skipping must not change RNG consumption"
+        );
+        assert_eq!(skip, full, "skip path must produce an identical map");
+        // Floor: every cell consumes two normals of ≥2 words each.
+        let cells =
+            chip.layout().lines() as u64 * chip.layout().cells_per_line() as u64;
+        assert!(
+            skip_draws >= 4 * cells,
+            "draw count {skip_draws} below the 2-normals-per-cell floor"
+        );
+        // The public (memoized) product agrees with both.
+        assert_eq!(chip.word_retention_map(8), skip);
+    }
+
+    #[test]
+    fn word_map_other_granularity_bypasses_cache() {
+        let f = typical_factory(43);
+        let chip = f.chip(2);
+        let m8 = chip.word_retention_map(8);
+        let m4 = chip.word_retention_map(4);
+        assert_eq!(m8.words[0].len(), 8);
+        assert_eq!(m4.words[0].len(), 4);
+        // Same stream and cells → the line-granularity projections agree
+        // exactly whatever the word grouping.
+        for line in [0usize, 100, 1023] {
+            assert_eq!(m8.line_retention(line), m4.line_retention(line));
+        }
     }
 
     #[test]

@@ -24,8 +24,10 @@
 
 pub mod analysis;
 pub mod profile;
+pub mod replay;
 pub mod trace;
 
 pub use analysis::{analyze, StackDistanceProfiler, TraceStats};
 pub use profile::{BuildProfileError, Profile, ProfileBuilder, SpecBenchmark};
+pub use replay::{RecordedTrace, ReplayTrace};
 pub use trace::SyntheticTrace;

@@ -1,0 +1,140 @@
+//! Record-once / replay-many trace sharing.
+//!
+//! A campaign evaluates the *same* benchmark stream under many cache
+//! configurations: the synthetic stream depends only on `(profile, seed)`,
+//! never on the cache, so regenerating it per scheme run is pure waste.
+//! [`RecordedTrace`] materializes a bounded instruction prefix once;
+//! [`ReplayTrace`] is a cheap cursor over that shared read-only buffer,
+//! yielding a stream bit-identical to a fresh [`SyntheticTrace`] with the
+//! same `(profile, seed)`.
+
+use crate::profile::Profile;
+use crate::trace::SyntheticTrace;
+use uarch::instr::{Instruction, TraceSource};
+
+/// A materialized instruction prefix of one benchmark's synthetic stream.
+///
+/// Recording is the only part that pays the generator cost (RNG, LRU-stack
+/// surgery); every [`RecordedTrace::replay`] afterwards is an allocation-free
+/// slice walk, safe to share read-only across threads.
+#[derive(Debug, Clone)]
+pub struct RecordedTrace {
+    instrs: Vec<Instruction>,
+    icache_miss_rate: f64,
+}
+
+impl RecordedTrace {
+    /// Records the first `len` instructions of `SyntheticTrace::new(profile,
+    /// seed)`.
+    ///
+    /// Size `len` to the consumer: a warmed pipeline run fetches at most
+    /// `warmup + instructions` committed instructions plus the in-flight
+    /// tail bounded by the ROB (see [`ReplayTrace`]'s exhaustion panic).
+    pub fn record(profile: Profile, seed: u64, len: u64) -> Self {
+        let mut src = SyntheticTrace::new(profile, seed);
+        let icache_miss_rate = src.icache_miss_rate();
+        let instrs = (0..len).map(|_| src.next_instr()).collect();
+        Self {
+            instrs,
+            icache_miss_rate,
+        }
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The profile's I-cache miss rate (pass to the pipeline, exactly as
+    /// with [`SyntheticTrace::icache_miss_rate`]).
+    pub fn icache_miss_rate(&self) -> f64 {
+        self.icache_miss_rate
+    }
+
+    /// A fresh cursor over the recorded stream, starting at instruction 0.
+    pub fn replay(&self) -> ReplayTrace<'_> {
+        ReplayTrace {
+            instrs: &self.instrs,
+            pos: 0,
+        }
+    }
+}
+
+/// A read-only cursor over a [`RecordedTrace`].
+///
+/// # Panics
+///
+/// [`TraceSource::next_instr`] panics if the recording is exhausted — a
+/// silent wrap or synthetic refill would desynchronize results from the
+/// un-recorded stream, so running off the end is a hard configuration error
+/// (record a longer prefix).
+#[derive(Debug, Clone)]
+pub struct ReplayTrace<'a> {
+    instrs: &'a [Instruction],
+    pos: usize,
+}
+
+impl ReplayTrace<'_> {
+    /// Instructions consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+impl TraceSource for ReplayTrace<'_> {
+    fn next_instr(&mut self) -> Instruction {
+        let i = *self.instrs.get(self.pos).unwrap_or_else(|| {
+            panic!(
+                "ReplayTrace exhausted after {} instructions; record a longer \
+                 prefix (warmup + instructions + in-flight slack)",
+                self.instrs.len()
+            )
+        });
+        self.pos += 1;
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SpecBenchmark;
+
+    #[test]
+    fn replay_is_bit_identical_to_fresh_generation() {
+        let profile = SpecBenchmark::Gcc.profile();
+        let recorded = RecordedTrace::record(profile, 1234, 5_000);
+        let mut fresh = SyntheticTrace::new(profile, 1234);
+        let mut replay = recorded.replay();
+        for i in 0..5_000 {
+            assert_eq!(replay.next_instr(), fresh.next_instr(), "instr {i}");
+        }
+        assert_eq!(replay.consumed(), 5_000);
+        assert_eq!(recorded.icache_miss_rate(), fresh.icache_miss_rate());
+    }
+
+    #[test]
+    fn two_replays_are_independent_cursors() {
+        let recorded = RecordedTrace::record(SpecBenchmark::Mcf.profile(), 9, 100);
+        let mut a = recorded.replay();
+        let mut b = recorded.replay();
+        let first = a.next_instr();
+        let _ = a.next_instr();
+        assert_eq!(b.next_instr(), first, "cursors must not share position");
+    }
+
+    #[test]
+    #[should_panic(expected = "ReplayTrace exhausted")]
+    fn exhaustion_panics_instead_of_wrapping() {
+        let recorded = RecordedTrace::record(SpecBenchmark::Gzip.profile(), 1, 10);
+        let mut r = recorded.replay();
+        for _ in 0..11 {
+            let _ = r.next_instr();
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! `any::<T>()` — full-range strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRunner;
+use core::marker::PhantomData;
+use rand::Rng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<fn() -> T>);
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// Generate any value of `T` (full range for ints, `[0, 1)` for floats).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+                fn new_value(&self, runner: &mut TestRunner) -> $ty {
+                    runner.rng().gen()
+                }
+            }
+            impl Arbitrary for $ty {
+                type Strategy = Any<$ty>;
+                fn arbitrary() -> Any<$ty> {
+                    Any::default()
+                }
+            }
+        )*
+    };
+}
+
+arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);

@@ -1,0 +1,135 @@
+//! Offline-vendored subset of the `proptest` 1.x API.
+//!
+//! The crates-io registry is unreachable in this build environment, so this
+//! crate provides a source-compatible implementation of the surface the
+//! workspace's property tests use: the [`Strategy`] trait with `prop_map`,
+//! range / tuple / `Just` / `any` / `prop_oneof!` / `collection::vec`
+//! strategies, and the `proptest!` / `prop_assert*` / `prop_assume!` macros
+//! driven by a deterministic seeded case runner.
+//!
+//! Differences from upstream: no shrinking (a failing case reports the raw
+//! inputs via its assertion message) and no persisted failure regressions.
+//! Case generation is deterministic per test binary (`PROPTEST_SEED`
+//! overrides the default seed), which makes CI reproducible.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Top-level entry: wraps property test functions in a case-runner loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig =
+                    ::core::clone::Clone::clone(&$cfg);
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                runner.run_cases(stringify!($name), |runner| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), runner);)+
+                    (move || -> $crate::test_runner::TestCaseResult {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a boolean condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Reject the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}

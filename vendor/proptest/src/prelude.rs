@@ -1,0 +1,8 @@
+//! The glob-import surface: `use proptest::prelude::*;`
+
+pub use crate::arbitrary::{any, Arbitrary};
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+};

@@ -1,0 +1,108 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated across the
+    /// whole run before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject(String),
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Drives case generation with a deterministic RNG.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: SmallRng,
+}
+
+/// Default seed (overridable via `PROPTEST_SEED`) so failures reproduce
+/// across runs and machines.
+const DEFAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner {
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Run `case` until `config.cases` successes (or panic on failure).
+    pub fn run_cases<F>(&mut self, name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRunner) -> TestCaseResult,
+    {
+        let cases = self.config.cases;
+        let max_rejects = self.config.max_global_rejects;
+        let mut passed = 0u32;
+        let mut rejects = 0u32;
+        while passed < cases {
+            match case(self) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest {name}: too many prop_assume! rejections \
+                             ({rejects}), last: {why}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest {name}: case {} of {cases} failed:\n{msg}", passed + 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Distributions: `Standard`, `Bernoulli`, and the uniform-range samplers,
+//! all matching rand 0.8.5 semantics draw-for-draw.
+
+use crate::Rng;
+
+/// Types that can produce values of `T` given a source of randomness.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" full-range / unit-interval distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int_32 {
+    ($($ty:ty),*) => {
+        $(impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        })*
+    };
+}
+macro_rules! standard_int_64 {
+    ($($ty:ty),*) => {
+        $(impl Distribution<$ty> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        })*
+    };
+}
+standard_int_32!(u8, i8, u16, i16, u32, i32);
+standard_int_64!(u64, i64, usize, isize);
+
+impl Distribution<u128> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        // rand 0.8.5 fills the high half first.
+        let hi = rng.next_u64() as u128;
+        let lo = rng.next_u64() as u128;
+        (hi << 64) | lo
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8.5 compares the most significant bit of a u32 draw.
+        rng.next_u32() & (1 << 31) != 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit multiply method over [0, 1).
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24-bit multiply method over [0, 1); consumes one u32 draw.
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Error type for [`Bernoulli::new`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BernoulliError {
+    InvalidProbability,
+}
+
+/// The Bernoulli distribution, via the fixed-point `p * 2^64` comparison
+/// rand 0.8.5 uses.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p_int: u64,
+}
+
+const ALWAYS_TRUE: u64 = u64::MAX;
+// 2^64 as f64 (exactly representable).
+const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+impl Bernoulli {
+    #[inline]
+    pub fn new(p: f64) -> Result<Bernoulli, BernoulliError> {
+        if !(0.0..1.0).contains(&p) {
+            if p == 1.0 {
+                return Ok(Bernoulli { p_int: ALWAYS_TRUE });
+            }
+            return Err(BernoulliError::InvalidProbability);
+        }
+        Ok(Bernoulli {
+            p_int: (p * SCALE) as u64,
+        })
+    }
+}
+
+impl Distribution<bool> for Bernoulli {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        if self.p_int == ALWAYS_TRUE {
+            // Note: no draw is consumed in this case (matches rand 0.8.5).
+            return true;
+        }
+        rng.next_u64() < self.p_int
+    }
+}
+
+pub mod uniform {
+    //! Uniform range sampling with rand 0.8.5's `sample_single` /
+    //! `sample_single_inclusive` algorithms: Lemire widening-multiply
+    //! rejection for integers, the `[1, 2)` bit-trick for floats.
+
+    use crate::RngCore;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A type that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + PartialOrd {
+        fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R)
+            -> Self;
+    }
+
+    /// Range types accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        fn is_empty(&self) -> bool;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_single(self.start, self.end, rng)
+        }
+        #[inline]
+        fn is_empty(&self) -> bool {
+            matches!(
+                self.start.partial_cmp(&self.end),
+                None | Some(core::cmp::Ordering::Greater) | Some(core::cmp::Ordering::Equal)
+            )
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        #[inline]
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            T::sample_single_inclusive(low, high, rng)
+        }
+        #[inline]
+        fn is_empty(&self) -> bool {
+            matches!(
+                self.start().partial_cmp(self.end()),
+                None | Some(core::cmp::Ordering::Greater)
+            )
+        }
+    }
+
+    #[inline]
+    fn wmul32(a: u32, b: u32) -> (u32, u32) {
+        let t = (a as u64) * (b as u64);
+        ((t >> 32) as u32, t as u32)
+    }
+
+    #[inline]
+    fn wmul64(a: u64, b: u64) -> (u64, u64) {
+        let t = (a as u128) * (b as u128);
+        ((t >> 64) as u64, t as u64)
+    }
+
+    // $ty: sampled type; $unsigned: its unsigned twin; $u_large: internal
+    // sampling width (u32 for 8/16/32-bit, u64 for 64-bit — as rand 0.8.5);
+    // $wmul: widening multiply at $u_large; $next: RngCore word draw.
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $next:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "UniformSampler::sample_single: low >= high");
+                    let range = high.wrapping_sub(low) as $unsigned as $u_large;
+                    let zone = if (<$unsigned>::MAX as $u_large) <= (u16::MAX as $u_large) {
+                        // Small types use an exact modulus (rand 0.8.5).
+                        let unsigned_max: $u_large = <$u_large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.$next() as $u_large;
+                        let (hi, lo) = $wmul(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(
+                        low <= high,
+                        "UniformSampler::sample_single_inclusive: low > high"
+                    );
+                    let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                    if range == 0 {
+                        // The whole type's range: sample directly.
+                        return rng.$next() as $ty;
+                    }
+                    let zone = if (<$unsigned>::MAX as $u_large) <= (u16::MAX as $u_large) {
+                        let unsigned_max: $u_large = <$u_large>::MAX;
+                        let ints_to_reject = (unsigned_max - range + 1) % range;
+                        unsigned_max - ints_to_reject
+                    } else {
+                        (range << range.leading_zeros()).wrapping_sub(1)
+                    };
+                    loop {
+                        let v: $u_large = rng.$next() as $u_large;
+                        let (hi, lo) = $wmul(v, range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(u8, u8, u32, wmul32, next_u32);
+    uniform_int_impl!(i8, u8, u32, wmul32, next_u32);
+    uniform_int_impl!(u16, u16, u32, wmul32, next_u32);
+    uniform_int_impl!(i16, u16, u32, wmul32, next_u32);
+    uniform_int_impl!(u32, u32, u32, wmul32, next_u32);
+    uniform_int_impl!(i32, u32, u32, wmul32, next_u32);
+    uniform_int_impl!(u64, u64, u64, wmul64, next_u64);
+    uniform_int_impl!(i64, u64, u64, wmul64, next_u64);
+    uniform_int_impl!(usize, usize, u64, wmul64, next_u64);
+    uniform_int_impl!(isize, usize, u64, wmul64, next_u64);
+
+    // $bits_to_discard = width - mantissa bits; exponent-zero bit pattern
+    // yields a float in [1, 2).
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $next:ident, $bits_to_discard:expr, $exp_one:expr) => {
+            impl SampleUniform for $ty {
+                fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "UniformSampler::sample_single: low >= high");
+                    let mut scale = high - low;
+                    assert!(
+                        scale.is_finite(),
+                        "UniformSampler::sample_single: range overflow"
+                    );
+                    loop {
+                        // Generate a value in [1, 2).
+                        let bits: $uty = rng.$next();
+                        let value1_2 = <$ty>::from_bits((bits >> $bits_to_discard) | $exp_one);
+                        // FMA form used by rand 0.8.5.
+                        let res = value1_2 * scale + (low - scale);
+                        if res < high {
+                            return res;
+                        }
+                        // Emulate `decrease_masked`: shave one ULP off the
+                        // scale and retry (fp-rounding edge case).
+                        scale = <$ty>::from_bits(scale.to_bits() - 1);
+                    }
+                }
+
+                fn sample_single_inclusive<R: RngCore + ?Sized>(
+                    low: Self,
+                    high: Self,
+                    rng: &mut R,
+                ) -> Self {
+                    assert!(
+                        low <= high,
+                        "UniformSampler::sample_single_inclusive: low > high"
+                    );
+                    if low == high {
+                        return low;
+                    }
+                    // Scale the [0, 1 - ulp] lattice onto [low, high].
+                    let bits: $uty = rng.$next();
+                    let value1_2 = <$ty>::from_bits((bits >> $bits_to_discard) | $exp_one);
+                    let value0_1 = value1_2 - 1.0;
+                    let max_rand = 1.0 - <$ty>::EPSILON / 2.0;
+                    let res = value0_1 / max_rand * (high - low) + low;
+                    if res > high {
+                        high
+                    } else {
+                        res
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_float_impl!(f64, u64, next_u64, 64 - 52, 1023u64 << 52);
+    uniform_float_impl!(f32, u32, next_u32, 32 - 23, 127u32 << 23);
+}
+
+pub use uniform::SampleUniform;

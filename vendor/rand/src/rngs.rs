@@ -1,0 +1,195 @@
+//! Generator implementations. `SmallRng` mirrors rand 0.8.5 on 64-bit
+//! targets: the xoshiro256++ algorithm with its documented SplitMix64
+//! `seed_from_u64` construction.
+
+use crate::{RngCore, SeedableRng};
+
+/// The xoshiro256++ generator (Blackman & Vigna), bit-identical to the copy
+/// embedded in rand 0.8.5 as the 64-bit `SmallRng` backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        // rand 0.8.5 uses the upper bits: the low bits of xoshiro256++ have
+        // weak linear dependencies.
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+
+        result
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let x = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&x[..chunk.len()]);
+        }
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    type Seed = [u8; 32];
+
+    #[inline]
+    fn from_seed(seed: [u8; 32]) -> Self {
+        if seed.iter().all(|&b| b == 0) {
+            return Self::seed_from_u64(0);
+        }
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Xoshiro256PlusPlus { s }
+    }
+
+    /// SplitMix64 expansion of a 64-bit seed, exactly as rand 0.8.5 does for
+    /// this generator (overriding the PCG32 default).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e3779b97f4a7c15;
+        let mut seed = <Self as SeedableRng>::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A small-state, fast, non-cryptographic PRNG — rand 0.8.5's `SmallRng`
+/// (xoshiro256++ on 64-bit platforms).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SmallRng(Xoshiro256PlusPlus);
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    #[inline]
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    #[inline]
+    fn from_seed(seed: Self::Seed) -> Self {
+        SmallRng(Xoshiro256PlusPlus::from_seed(seed))
+    }
+
+    #[inline]
+    fn seed_from_u64(state: u64) -> Self {
+        SmallRng(Xoshiro256PlusPlus::seed_from_u64(state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rng;
+
+    /// Reference vector from the upstream xoshiro256++ implementation with
+    /// state [1, 2, 3, 4] (same vector rand 0.8.5 pins in its test-suite).
+    #[test]
+    fn xoshiro256plusplus_reference() {
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = Xoshiro256PlusPlus::from_seed(seed);
+        let expected: [u64; 10] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+            14011001112246962877,
+            12406186145184390807,
+            15849039046786891736,
+            10450023813501588000,
+        ];
+        for &e in &expected {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn small_rng_seed_from_u64_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(0xDEAD_BEEF);
+        let mut b = SmallRng::seed_from_u64(0xDEAD_BEEF);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(0xDEAD_BEF0);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_f64_is_in_unit_interval_and_53_bit() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            // 53-bit multiply method: x * 2^53 must be an integer.
+            let scaled = x * (1u64 << 53) as f64;
+            assert_eq!(scaled, scaled.trunc());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let a: usize = rng.gen_range(0..17);
+            assert!(a < 17);
+            let b: u32 = rng.gen_range(1..=6);
+            assert!((1..=6).contains(&b));
+            let c: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&c));
+            let d: u8 = rng.gen_range(3..9);
+            assert!((3..9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        for _ in 0..100 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+        }
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac={frac}");
+    }
+}
