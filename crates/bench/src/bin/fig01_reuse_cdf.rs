@@ -4,13 +4,15 @@
 //! Paper shape: most references land within the first 6 K cycles of a
 //! line's lifetime (≈90 % on average), with the CDF flattening past ≈10 K.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, RunRecorder, RunScale};
 use cachesim::DataCache;
 use uarch::sim::simulate_warmed;
 use workloads::{SpecBenchmark, SyntheticTrace};
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig01");
+    rec.manifest.seed = Some(1);
     banner("Figure 1", "cache reference age CDF (cycles since line load)");
 
     let marks = [2_048u64, 4_096, 6_144, 10_240, 15_360, 20_480];
@@ -43,6 +45,11 @@ fn main() {
                 .unwrap_or(1.0)
         };
         let row: Vec<f64> = marks.iter().map(|&m| at(m)).collect();
+        stats.export(rec.metrics(), &format!("cache.{bench}"));
+        for (&m, &f) in marks.iter().zip(&row) {
+            rec.metrics()
+                .set_gauge(&format!("cdf.{bench}.under_{}k", m / 1024), f);
+        }
         println!(
             "{:<8} {}",
             bench.to_string(),
@@ -62,14 +69,15 @@ fn main() {
             .collect::<String>()
     );
     println!();
-    compare(
+    rec.compare(
         "average fraction of references within 6K cycles",
         avg[2],
         "~0.90 (Fig. 1)",
     );
-    compare(
+    rec.compare(
         "average fraction within 20K cycles",
         avg[5],
         "~0.97+ (Fig. 1 tail)",
     );
+    rec.finish();
 }

@@ -5,18 +5,20 @@
 //! the 6T array access time at the cell's *retention time* — ≈5.8–6 µs for
 //! a nominal 32 nm cell, ≈4 µs for a weak cell, longer for a strong cell.
 
-use bench_harness::{banner, compare};
+use bench_harness::{banner, RunRecorder};
 use vlsi::cell3t1d::{access_time, retention_time};
 use vlsi::tech::TechNode;
 use vlsi::units::{Time, Voltage};
 use vlsi::variation::DeviceDeviation;
 
 fn main() {
+    let mut rec = RunRecorder::from_args("fig04");
     banner(
         "Figure 4",
         "3T1D access time vs time after write (32 nm)",
     );
     let node = TechNode::N32;
+    rec.manifest.tech_node = Some(node.to_string());
     let nominal = DeviceDeviation::NOMINAL;
     let weak_t1 = DeviceDeviation {
         dl_frac: 0.0,
@@ -55,13 +57,16 @@ fn main() {
 
     println!();
     let ret = |d: DeviceDeviation| retention_time(node, d, DeviceDeviation::NOMINAL).us();
-    compare("nominal cell retention (us)", ret(nominal), "~5.8-6.0 us");
-    compare("weak cell retention (us)", ret(weak_t1), "~4 us");
-    compare("strong cell retention (us)", ret(strong_t1), "> nominal");
+    rec.compare("nominal cell retention (us)", ret(nominal), "~5.8-6.0 us");
+    rec.compare("weak cell retention (us)", ret(weak_t1), "~4 us");
+    rec.compare("strong cell retention (us)", ret(strong_t1), "> nominal");
     let fresh = access_time(node, nominal, DeviceDeviation::NOMINAL, Time::ZERO);
-    compare(
+    rec.compare(
         "fresh 3T1D access / 6T access",
         fresh.ps() / t6.ps(),
         "<= 1.0 (matches 6T speed when fresh)",
     );
+    rec.metrics().set_gauge("access.six_t_ps", t6.ps());
+    rec.metrics().set_gauge("access.fresh_3t1d_ps", fresh.ps());
+    rec.finish();
 }

@@ -4,7 +4,7 @@
 //! Paper shape: 1X 6T chips lose 10–20 % of frequency; even 2X-sized
 //! cells leave ≈20 % of chips ≈3 % slow.
 
-use bench_harness::{bar, banner, compare, RunScale};
+use bench_harness::{bar, banner, RunRecorder, RunScale};
 use vlsi::cell6t::CellSize;
 use vlsi::montecarlo::ChipFactory;
 use vlsi::stats::Histogram;
@@ -13,6 +13,9 @@ use vlsi::variation::VariationCorner;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig06a");
+    rec.manifest.seed = Some(20_240);
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(
         "Figure 6a",
         "6T cache frequency distribution under typical variation (32 nm)",
@@ -37,6 +40,19 @@ fn main() {
         }
     }
     let n = scale.mc_chips as f64;
+    for (label, h, sum) in [("x1", &h1, sum1), ("x2", &h2, sum2)] {
+        rec.metrics().put_histogram(
+            &format!("freq.{label}"),
+            obs::FixedHistogram::from_buckets(
+                0.7625,
+                1.0625,
+                h.counts().to_vec(),
+                h.underflow(),
+                h.overflow(),
+                sum,
+            ),
+        );
+    }
 
     println!("{:>8} {:>10} {:>26} {:>10} {:>26}", "freq", "1X prob", "", "2X prob", "");
     for i in 0..h1.counts().len() {
@@ -52,11 +68,12 @@ fn main() {
         );
     }
     println!();
-    compare("mean 1X 6T normalized frequency", sum1 / n, "0.80-0.90 (10-20% loss)");
-    compare("mean 2X 6T normalized frequency", sum2 / n, "~1.0");
-    compare(
+    rec.compare("mean 1X 6T normalized frequency", sum1 / n, "0.80-0.90 (10-20% loss)");
+    rec.compare("mean 2X 6T normalized frequency", sum2 / n, "~1.0");
+    rec.compare(
         "fraction of 2X chips below 0.99",
         slow2 as f64 / n,
         "~0.2 (20% of chips ~3% slow)",
     );
+    rec.finish();
 }

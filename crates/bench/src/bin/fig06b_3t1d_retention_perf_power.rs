@@ -11,7 +11,7 @@
 //! [`t3cache::campaign`] work units; the banner reports the aggregate
 //! wall clock and speedup over the estimated serial time.
 
-use bench_harness::{bar, banner, compare, min, RunScale};
+use bench_harness::{bar, banner, min, RunRecorder, RunScale};
 use cachesim::{CacheConfig, DataCache, Scheme};
 use t3cache::campaign::{map_indexed, CampaignReport};
 use t3cache::chip::ChipModel;
@@ -41,6 +41,10 @@ enum PickRow {
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig06b");
+    rec.manifest.seed = Some(20_241);
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
+    rec.manifest.scheme = Some(Scheme::global().to_string());
     banner(
         "Figure 6b",
         "3T1D retention distribution, performance and dynamic power (typical, 32 nm, global refresh)",
@@ -68,6 +72,18 @@ fn main() {
         hist.underflow(),
         hist.overflow(),
         hist.total()
+    );
+    let retention_sum: f64 = models.iter().map(|c| c.cache_retention().ns()).sum();
+    rec.metrics().put_histogram(
+        "retention_ns",
+        obs::FixedHistogram::from_buckets(
+            357.0,
+            3213.0,
+            hist.counts().to_vec(),
+            hist.underflow(),
+            hist.overflow(),
+            retention_sum,
+        ),
     );
 
     // Performance & power vs retention: pick chips spanning the range.
@@ -147,6 +163,10 @@ fn main() {
             } => {
                 all_perf.push(*perf);
                 all_retentions.push(*retention_ns);
+                let slug = format!("pick.{:04.0}ns", retention_ns);
+                rec.metrics().set_gauge(&format!("{slug}.perf"), *perf);
+                rec.metrics().set_gauge(&format!("{slug}.total_dyn"), *total_dyn);
+                rec.metrics().set_gauge(&format!("{slug}.refresh_dyn"), *refresh_dyn);
                 println!(
                     "{:>10.0}ns {:>8.3} {:>4} {:>5.3} {:>12.2} {:>12.2} {:>12.2}",
                     retention_ns, perf, worst_bench, worst, normal_dyn, refresh_dyn, total_dyn
@@ -157,9 +177,10 @@ fn main() {
 
     println!();
     println!("{}", timing.banner_line());
+    timing.export(rec.metrics());
     println!();
     if !all_perf.is_empty() {
-        compare(
+        rec.compare(
             "worst simulated chip performance",
             min(&all_perf),
             ">=0.94 above the knee (Fig. 6b)",
@@ -178,10 +199,11 @@ fn main() {
             .filter(|c| c.cache_retention().ns() >= crossing)
             .count() as f64
             / models.len() as f64;
-        compare(
+        rec.compare(
             "population fraction losing <2% (weighted)",
             pop_within,
             "~0.97",
         );
     }
+    rec.finish();
 }

@@ -5,7 +5,7 @@
 //! tail past 10×; only ≈11 % of 3T1D chips exceed the golden 6T at all,
 //! and none pass ≈4×.
 
-use bench_harness::{bar, banner, compare, RunScale};
+use bench_harness::{bar, banner, RunRecorder, RunScale};
 use vlsi::cell6t::CellSize;
 use vlsi::leakage::golden_cache_leakage_6t;
 use vlsi::montecarlo::ChipFactory;
@@ -14,6 +14,9 @@ use vlsi::variation::VariationCorner;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig07");
+    rec.manifest.seed = Some(20_242);
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(
         "Figure 7",
         "cache leakage distributions, typical variation (32 nm), normalized to golden 6T",
@@ -59,6 +62,10 @@ fn main() {
 
     println!("{:>8} {:>9} {:<26} {:>9} {:<26}", "leakage", "1X 6T", "", "3T1D", "");
     for k in 0..11 {
+        rec.metrics()
+            .inc(&format!("leakage.six_t.bin_{}", labels[k].to_lowercase()), c6[k] as u64);
+        rec.metrics()
+            .inc(&format!("leakage.t3.bin_{}", labels[k].to_lowercase()), c3[k] as u64);
         println!(
             "{:>8} {:>9.3} {:<26} {:>9.3} {:<26}",
             labels[k],
@@ -69,8 +76,9 @@ fn main() {
         );
     }
     println!();
-    compare("1X 6T chips above 1.5x golden", over15_6t as f64 / n, ">0.5");
-    compare("1X 6T chips above 10x golden", over10_6t as f64 / n, "'some chips' (>0)");
-    compare("3T1D chips above golden 6T", over1_3t as f64 / n, "~0.11");
-    compare("3T1D maximum ratio", max3, "<4x");
+    rec.compare("1X 6T chips above 1.5x golden", over15_6t as f64 / n, ">0.5");
+    rec.compare("1X 6T chips above 10x golden", over10_6t as f64 / n, "'some chips' (>0)");
+    rec.compare("3T1D chips above golden 6T", over1_3t as f64 / n, "~0.11");
+    rec.compare("3T1D maximum ratio", max3, "<4x");
+    rec.finish();
 }

@@ -5,7 +5,7 @@
 //! lines on the bad chip, ≈3 % on the median chip; ≈80 % of chips must be
 //! discarded under the global scheme.
 
-use bench_harness::{bar, banner, compare, RunScale};
+use bench_harness::{bar, banner, RunRecorder, RunScale};
 use cachesim::{CacheConfig, Scheme};
 use t3cache::chip::{ChipGrade, ChipPopulation};
 use vlsi::stats::Histogram;
@@ -14,6 +14,9 @@ use vlsi::variation::VariationCorner;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig08");
+    rec.manifest.seed = Some(20_243);
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(
         "Figure 8",
         "line retention distributions of good/median/bad chips (severe, 32 nm)",
@@ -32,6 +35,21 @@ fn main() {
             hist.push(t.ns());
         }
         let dead = chip.dead_line_fraction(&counter);
+        let grade_slug = grade.to_string().to_lowercase();
+        rec.metrics()
+            .set_gauge(&format!("chip.{grade_slug}.dead_line_fraction"), dead);
+        let sum: f64 = chip.retention_times().iter().map(|t| t.ns()).sum();
+        rec.metrics().put_histogram(
+            &format!("chip.{grade_slug}.line_retention_ns"),
+            obs::FixedHistogram::from_buckets(
+                0.0,
+                5_000.0,
+                hist.counts().to_vec(),
+                hist.underflow(),
+                hist.overflow(),
+                sum,
+            ),
+        );
         println!();
         println!(
             "{} chip (#{}) — dead lines: {:.1}%",
@@ -55,12 +73,13 @@ fn main() {
     println!();
     let median_dead = pop.select(ChipGrade::Median).dead_fraction();
     let bad_dead = pop.select(ChipGrade::Bad).dead_fraction();
-    compare("median chip dead-line fraction", median_dead, "~0.03");
-    compare("bad chip dead-line fraction", bad_dead, "~0.23");
+    rec.compare("median chip dead-line fraction", median_dead, "~0.03");
+    rec.compare("bad chip dead-line fraction", bad_dead, "~0.23");
     let cfg = CacheConfig::paper(Scheme::global());
-    compare(
+    rec.compare(
         "global-scheme discard fraction (severe)",
         pop.global_scheme_discard_fraction(&cfg),
         "~0.80",
     );
+    rec.finish();
 }

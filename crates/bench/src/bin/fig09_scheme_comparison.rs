@@ -6,7 +6,7 @@
 //! gives some of it back (~1 % blocking penalty); the intrinsic-refresh
 //! RSP schemes perform best.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, RunRecorder, RunScale};
 use cachesim::Scheme;
 use t3cache::campaign::evaluate_grid;
 use t3cache::chip::{ChipGrade, ChipModel, ChipPopulation};
@@ -16,6 +16,9 @@ use vlsi::variation::VariationCorner;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig09");
+    rec.manifest.seed = Some(20_244);
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(
         "Figure 9",
         "retention schemes on good/median/bad chips (severe, 32 nm)",
@@ -36,6 +39,8 @@ fn main() {
         .map(|&g| pop.select(g))
         .collect();
     let grid = evaluate_grid(&eval, &exemplars, &schemes, &ideal);
+    let labels: Vec<String> = schemes.iter().map(Scheme::to_string).collect();
+    grid.export(rec.metrics(), &labels);
     println!("{}", grid.report.banner_line());
     println!();
 
@@ -50,6 +55,10 @@ fn main() {
             row[1],
             row[2]
         );
+        for (grade, &perf) in ["good", "median", "bad"].iter().zip(&row) {
+            rec.metrics()
+                .set_gauge(&format!("scheme.{scheme}.perf.{grade}"), perf);
+        }
         results.push((scheme.to_string(), row));
     }
 
@@ -61,17 +70,17 @@ fn main() {
             .map(|(_, r)| r[2])
             .expect("scheme present")
     };
-    compare(
+    rec.compare(
         "bad chip: DSP gain over plain LRU (no-refresh)",
         bad("no-refresh/DSP") - bad("no-refresh/LRU"),
         "large, dead-line avoidance",
     );
-    compare(
+    rec.compare(
         "bad chip: RSP-FIFO vs no-refresh/LRU",
         bad("RSP-FIFO") - bad("no-refresh/LRU"),
         "RSP best overall",
     );
-    compare(
+    rec.compare(
         "median chip: partial vs no refresh (DSP)",
         results
             .iter()
@@ -85,4 +94,5 @@ fn main() {
                 .unwrap(),
         "+0.01..0.02",
     );
+    rec.finish();
 }

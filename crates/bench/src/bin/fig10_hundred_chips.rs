@@ -11,7 +11,7 @@
 //! time, and the per-chip results are bit-identical to a serial run
 //! (`PV3T1D_WORKERS=1` to verify).
 
-use bench_harness::{banner, compare, frac_above, max, min, RunScale};
+use bench_harness::{banner, frac_above, max, min, RunRecorder, RunScale};
 use cachesim::Scheme;
 use t3cache::campaign::evaluate_grid;
 use t3cache::chip::{ChipModel, ChipPopulation};
@@ -21,6 +21,9 @@ use vlsi::variation::VariationCorner;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig10");
+    rec.manifest.seed = Some(20_245);
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(
         "Figure 10",
         "100 severe-variation chips under three line-level schemes (32 nm)",
@@ -44,6 +47,8 @@ fn main() {
     let chip_refs: Vec<&ChipModel> = pop.chips().iter().collect();
     let scheme_list: Vec<Scheme> = schemes.iter().map(|&(_, s)| s).collect();
     let result = evaluate_grid(&eval, &chip_refs, &scheme_list, &ideal);
+    let labels: Vec<String> = schemes.iter().map(|&(n, _)| n.to_string()).collect();
+    result.export(rec.metrics(), &labels);
     println!("{}", result.report.banner_line());
     println!();
 
@@ -76,16 +81,17 @@ fn main() {
     }
 
     println!();
-    compare("worst-chip perf, no-refresh/LRU", min(&perf[0]), ">=0.86 (Fig. 9/10)");
-    compare("worst-chip perf, partial-refresh/DSP", min(&perf[1]), ">=0.97");
-    compare("worst-chip perf, RSP-FIFO", min(&perf[2]), ">=0.97");
-    compare("chips losing <1% (RSP-FIFO)", frac_above(&perf[2], 0.99), "'most chips'");
-    compare("max power overhead, no-refresh/LRU", max(&power[0]) - 1.0, "up to ~0.6");
-    compare("max power overhead, partial/DSP", max(&power[1]) - 1.0, "<0.10");
-    compare("max power overhead, RSP-FIFO", max(&power[2]) - 1.0, "<0.10");
-    compare(
+    rec.compare("worst-chip perf, no-refresh/LRU", min(&perf[0]), ">=0.86 (Fig. 9/10)");
+    rec.compare("worst-chip perf, partial-refresh/DSP", min(&perf[1]), ">=0.97");
+    rec.compare("worst-chip perf, RSP-FIFO", min(&perf[2]), ">=0.97");
+    rec.compare("chips losing <1% (RSP-FIFO)", frac_above(&perf[2], 0.99), "'most chips'");
+    rec.compare("max power overhead, no-refresh/LRU", max(&power[0]) - 1.0, "up to ~0.6");
+    rec.compare("max power overhead, partial/DSP", max(&power[1]) - 1.0, "<0.10");
+    rec.compare("max power overhead, RSP-FIFO", max(&power[2]) - 1.0, "<0.10");
+    rec.compare(
         "global-scheme discard fraction (for contrast)",
         pop.global_scheme_discard_fraction(&cachesim::CacheConfig::paper(Scheme::global())),
         "~0.80",
     );
+    rec.finish();
 }

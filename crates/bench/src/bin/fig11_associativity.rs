@@ -11,7 +11,7 @@
 //! and the grade × scheme × ways grid runs on the [`t3cache::campaign`]
 //! engine.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, RunRecorder, RunScale};
 use cachesim::Scheme;
 use t3cache::campaign::{map_indexed, CampaignReport};
 use t3cache::chip::{ChipGrade, ChipModel, ChipPopulation};
@@ -23,6 +23,9 @@ const WAYS: [u32; 4] = [1, 2, 4, 8];
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig11");
+    rec.manifest.seed = Some(20_246);
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(
         "Figure 11",
         "schemes vs associativity on good/median/bad chips (severe, 32 nm)",
@@ -58,9 +61,20 @@ fn main() {
         suite.normalized_performance(&ideals[w], 1.0)
     });
     timing.absorb(&grid_report);
+    timing.export(rec.metrics());
     println!("{}", timing.banner_line());
 
     let perf = |g: usize, s: usize, w: usize| flat[(g * schemes.len() + s) * WAYS.len() + w];
+    for (g, grade) in grades.iter().enumerate() {
+        for (s, (name, _)) in schemes.iter().enumerate() {
+            for (w, ways) in WAYS.iter().enumerate() {
+                rec.metrics().set_gauge(
+                    &format!("perf.{grade}.{}.{ways}way", bench_harness::metric_slug(name)),
+                    perf(g, s, w),
+                );
+            }
+        }
+    }
     let mut bad_gap_4way = 0.0;
     let mut bad_gap_1way = 0.0;
     for (g, grade) in grades.iter().enumerate() {
@@ -84,14 +98,15 @@ fn main() {
     }
 
     println!();
-    compare(
+    rec.compare(
         "bad chip, 4-way: RSP-FIFO advantage over no-refresh/LRU",
         bad_gap_4way,
         "significant (placement works)",
     );
-    compare(
+    rec.compare(
         "bad chip, 1-way: RSP-FIFO advantage over no-refresh/LRU",
         bad_gap_1way,
         "~0 (no placement freedom)",
     );
+    rec.finish();
 }

@@ -5,7 +5,7 @@
 //! point 3 vs 5 shows voltage scaling shrinking it further; point 4 (32 nm
 //! severe) and point 6 (worst case) push σ/µ toward the cliff.
 
-use bench_harness::{banner, RunScale};
+use bench_harness::{banner, RunRecorder, RunScale};
 use t3cache::sensitivity::design_point;
 use vlsi::tech::TechNode;
 use vlsi::units::Voltage;
@@ -13,6 +13,8 @@ use vlsi::variation::VariationCorner;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig12_points");
+    rec.manifest.seed = Some(77);
     let chips = (scale.mc_chips / 10).max(4);
     banner(
         "Figure 12 (annotations)",
@@ -32,6 +34,8 @@ fn main() {
     ];
     for (pt, node, corner, vdd) in rows {
         let (mu, cv) = design_point(node, &corner.params(), Voltage::new(vdd), chips, 77);
+        rec.metrics().set_gauge(&format!("point.{pt}.mu_cycles"), mu as f64);
+        rec.metrics().set_gauge(&format!("point.{pt}.sigma_over_mu"), cv);
         println!(
             "{:<6} {:<26} {:>12} {:>7.1}% {:>10.0}",
             pt,
@@ -45,4 +49,5 @@ fn main() {
     println!("reading the surface: scaling (1→2→3) and voltage (3→5) shrink µ;");
     println!("severe variation (4, 6) widens s/u toward the dead-line cliff —");
     println!("point 6 is the corner the paper warns needs innovation at every layer.");
+    rec.finish();
 }

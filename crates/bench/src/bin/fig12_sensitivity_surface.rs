@@ -4,7 +4,7 @@
 //! performance drop appears beyond σ/µ ≈ 25 %; larger µ helps at fixed
 //! σ/µ; the retention-aware schemes dominate no-refresh almost everywhere.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, metric_slug, RunRecorder, RunScale};
 use cachesim::Scheme;
 use t3cache::campaign::CampaignReport;
 use t3cache::evaluate::Evaluator;
@@ -14,6 +14,8 @@ use workloads::SpecBenchmark;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("fig12_surface");
+    rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(
         "Figure 12",
         "performance vs retention-time mean and variation (three schemes)",
@@ -59,6 +61,17 @@ fn main() {
         // independent grid-point units.
         let (pts, report) = sweep.run_timed(&eval, *scheme, &ideal);
         timing.absorb(&report);
+        let scheme_slug = metric_slug(name);
+        for p in &pts {
+            rec.metrics().set_gauge(
+                &format!(
+                    "surface.{scheme_slug}.mu{}.r{:02.0}",
+                    p.mu_cycles,
+                    p.sigma_over_mu * 100.0
+                ),
+                p.performance,
+            );
+        }
         print!("{:>10}", "mu\\s/mu");
         for r in &sweep.ratios {
             print!("{:>8.0}%", r * 100.0);
@@ -92,15 +105,17 @@ fn main() {
 
     println!();
     println!("{}", timing.banner_line());
+    timing.export(rec.metrics());
     println!();
-    compare(
+    rec.compare(
         "no-refresh/LRU drop from s/u=25% to 35% (low mu)",
         cliff.0 - cliff.1,
         "sudden drop past 25% (Fig. 12, dead lines)",
     );
-    compare(
+    rec.compare(
         "retention-aware advantage over no-refresh (35%, low mu)",
         aware_vs_naive,
         "positive nearly everywhere",
     );
+    rec.finish();
 }

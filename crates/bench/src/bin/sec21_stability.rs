@@ -5,13 +5,14 @@
 //! which makes a 256-bit line fail with probability 1 − 0.996²⁵⁶ ≈ 64 %;
 //! 3T1D cells have no fighting and are stable.
 
-use bench_harness::{banner, compare};
+use bench_harness::{banner, RunRecorder};
 use t3cache::campaign::map_indexed;
 use vlsi::cell6t::{bit_flip_probability, line_failure_probability, CellSize};
 use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
 fn main() {
+    let mut rec = RunRecorder::from_args("sec21_stability");
     banner("Section 2.1", "6T cell stability under process variation");
     // Analytic study, but run through the campaign engine like its sim
     // siblings: one unit per (node, corner) cell of the table.
@@ -23,6 +24,7 @@ fn main() {
         let p = bit_flip_probability(node, CellSize::X1, &corner.params());
         (node, corner, p)
     });
+    report.export(rec.metrics());
     println!("{}", report.banner_line());
     println!();
     println!(
@@ -30,6 +32,8 @@ fn main() {
         "node", "corner", "bit flip", "256b line fail", "512b line fail"
     );
     for (node, corner, p) in rows {
+        rec.metrics()
+            .set_gauge(&format!("bit_flip.{node}.{corner}"), p);
         println!(
             "{:<10} {:<10} {:>13.4}% {:>15.1}% {:>15.1}%",
             node.to_string(),
@@ -45,8 +49,8 @@ fn main() {
         CellSize::X1,
         &VariationCorner::Typical.params(),
     );
-    compare("32nm typical bit-flip rate (%)", p32 * 100.0, "~0.4%");
-    compare(
+    rec.compare("32nm typical bit-flip rate (%)", p32 * 100.0, "~0.4%");
+    rec.compare(
         "256-bit line failure probability",
         line_failure_probability(p32, 256),
         "~0.64",
@@ -56,7 +60,8 @@ fn main() {
         CellSize::X2,
         &VariationCorner::Typical.params(),
     );
-    compare("32nm 2X-cell bit-flip rate (%)", p2x * 100.0, "far below 1X (area law)");
+    rec.compare("32nm 2X-cell bit-flip rate (%)", p2x * 100.0, "far below 1X (area law)");
     println!("\n3T1D cells have no read-disturb fighting: stability is not a failure mode;");
     println!("their only 'instability' is finite retention, handled architecturally (Section 4).");
+    rec.finish();
 }

@@ -7,7 +7,7 @@
 //! leakage; ≈64 % total cache power saving and ≈one technology generation
 //! of performance recovered.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, metric_slug, RunRecorder, RunScale};
 use t3cache::campaign::map_indexed;
 use t3cache::evaluate::Evaluator;
 use t3cache::table3::{cache_power_saving, table3_rows};
@@ -16,6 +16,8 @@ use vlsi::tech::TechNode;
 
 fn main() {
     let scale = RunScale::detect();
+    let mut rec = RunRecorder::from_args("table3");
+    rec.manifest.seed = Some(20_247);
     banner("Table 3", "cache designs across technology nodes");
 
     let m = MachineConfig::TABLE2;
@@ -34,6 +36,7 @@ fn main() {
         let eval = Evaluator::new(scale.eval_config(node));
         table3_rows(node, &eval, scale.mc_chips.min(80), 20_247)
     });
+    report.export(rec.metrics());
     println!("{}", report.banner_line());
     println!();
 
@@ -46,6 +49,13 @@ fn main() {
             "design", "access", "retention", "BIPS", "mean dyn", "full dyn", "leakage"
         );
         for r in rows.iter() {
+            let prefix = format!("node.{node}.{}", metric_slug(&r.design.to_string()));
+            rec.metrics().set_gauge(&format!("{prefix}.access_ps"), r.access_time.ps());
+            rec.metrics().set_gauge(&format!("{prefix}.bips"), r.bips);
+            rec.metrics().set_gauge(&format!("{prefix}.leakage_mw"), r.leakage.mw());
+            if let Some(t) = r.retention {
+                rec.metrics().set_gauge(&format!("{prefix}.retention_ns"), t.ns());
+            }
             println!(
                 "{:<24} {:>10.0}ps {:>12} {:>10.2} {:>10.2}mW {:>10.2}mW {:>10.2}mW",
                 r.design.to_string(),
@@ -60,6 +70,8 @@ fn main() {
             );
         }
         let saving = cache_power_saving(rows);
+        rec.metrics()
+            .set_gauge(&format!("node.{node}.cache_power_saving"), saving);
         println!("total cache power saving (3T1D vs ideal 6T): {:.0}%", saving * 100.0);
         println!();
         if node == TechNode::N32 {
@@ -68,11 +80,12 @@ fn main() {
         }
     }
 
-    compare("32nm 3T1D / ideal BIPS ratio", bips.2 / bips.0, "4.14/4.17 = 0.993");
-    compare("32nm 1X 6T / ideal BIPS ratio", bips.1 / bips.0, "3.50/4.17 = 0.839");
-    compare("32nm total cache power saving", saving_32, "~0.64 across nodes");
+    rec.compare("32nm 3T1D / ideal BIPS ratio", bips.2 / bips.0, "4.14/4.17 = 0.993");
+    rec.compare("32nm 1X 6T / ideal BIPS ratio", bips.1 / bips.0, "3.50/4.17 = 0.839");
+    rec.compare("32nm total cache power saving", saving_32, "~0.64 across nodes");
     println!(
         "\nnote: absolute BIPS differ from the paper (synthetic workloads run at\n\
          HM IPC ~0.8 vs sim-alpha's ~0.97); ratios are the reproduction target."
     );
+    rec.finish();
 }

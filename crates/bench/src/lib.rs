@@ -2,11 +2,16 @@
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
 //! paper. They share the scaling knobs (full vs `--quick` runs), text
-//! rendering helpers, and the paper-vs-measured annotation format.
+//! rendering helpers, the paper-vs-measured annotation format, and the
+//! [`RunRecorder`] that gives every binary its `--json <path>` run
+//! manifest (default `results/<name>.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use obs::RunManifest;
+use std::path::PathBuf;
+use std::time::Instant;
 use t3cache::evaluate::EvalConfig;
 use vlsi::tech::TechNode;
 
@@ -54,6 +59,101 @@ impl RunScale {
             ..EvalConfig::default()
         }
     }
+}
+
+/// Builds and writes one binary's JSON run manifest.
+///
+/// Construct it first thing with [`RunRecorder::from_args`], fill
+/// [`RunRecorder::metrics`] (and the manifest's seed/node/scheme fields)
+/// as the experiment runs, then call [`RunRecorder::finish`] last — it
+/// stamps the wall clock and writes the manifest to the `--json <path>`
+/// argument (default `results/<name>.json`).
+#[derive(Debug)]
+pub struct RunRecorder {
+    /// The manifest under construction. Binaries set `seed`, `tech_node`
+    /// and `scheme` directly; `workers`, `quick` and `git` are detected.
+    pub manifest: RunManifest,
+    path: PathBuf,
+    started: Instant,
+}
+
+impl RunRecorder {
+    /// A recorder honoring the binary's `--json <path>` / `--json=<path>`
+    /// argument, defaulting to `results/<name>.json`.
+    pub fn from_args(name: &str) -> Self {
+        let mut path = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            if a == "--json" {
+                path = args.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                path = Some(PathBuf::from(p));
+            }
+        }
+        let path = path.unwrap_or_else(|| PathBuf::from(format!("results/{name}.json")));
+        Self::with_path(name, path)
+    }
+
+    /// A recorder writing to an explicit path (tests use this to bypass
+    /// argument parsing).
+    pub fn with_path(name: &str, path: impl Into<PathBuf>) -> Self {
+        let mut manifest = RunManifest::new(name);
+        manifest.workers = t3cache::campaign::worker_count() as u64;
+        manifest.quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("PV3T1D_QUICK").map(|v| v == "1").unwrap_or(false);
+        manifest.git_describe = RunManifest::detect_git_describe();
+        Self {
+            manifest,
+            path: path.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The metrics registry the experiment records into.
+    pub fn metrics(&mut self) -> &mut obs::MetricsRegistry {
+        &mut self.manifest.metrics
+    }
+
+    /// [`compare`] that also records the measured value as a
+    /// `compare.<slug>` gauge in the manifest.
+    pub fn compare(&mut self, what: &str, measured: f64, paper: &str) {
+        compare(what, measured, paper);
+        self.manifest
+            .metrics
+            .set_gauge(&format!("compare.{}", metric_slug(what)), measured);
+    }
+
+    /// Stamps the wall clock, writes the manifest, and prints its path.
+    /// A write failure warns instead of failing the run — the figure
+    /// output on stdout is already complete by then.
+    pub fn finish(mut self) -> PathBuf {
+        self.manifest.wall_seconds = self.started.elapsed().as_secs_f64();
+        match self.manifest.write_to(&self.path) {
+            Ok(()) => println!("manifest: {}", self.path.display()),
+            Err(e) => eprintln!(
+                "warning: could not write manifest {}: {e}",
+                self.path.display()
+            ),
+        }
+        self.path
+    }
+}
+
+/// Lowercases and collapses a human label into a metric-name slug:
+/// `"IPC loss (severe)"` → `"ipc_loss_severe"`.
+pub fn metric_slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for ch in label.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch.to_ascii_lowercase());
+        } else if ch == '.' || ch == '%' {
+            // Keep dots (metric hierarchy) and a marker for percentages.
+            out.push(if ch == '.' { '.' } else { 'p' });
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_matches('_').to_string()
 }
 
 /// Prints a figure/table banner.
@@ -124,6 +224,31 @@ mod tests {
         assert_eq!(frac_above(&v, 0.0), 1.0);
         assert_eq!(frac_above(&v, 2.0), 0.0);
         assert_eq!(frac_above(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn metric_slug_normalizes_labels() {
+        assert_eq!(metric_slug("IPC loss (severe)"), "ipc_loss_severe");
+        assert_eq!(metric_slug("refresh energy %"), "refresh_energy_p");
+        assert_eq!(metric_slug("scheme.RSP-FIFO perf"), "scheme.rsp_fifo_perf");
+    }
+
+    #[test]
+    fn recorder_records_compares_and_writes() {
+        let dir = std::env::temp_dir().join(format!("bench_recorder_{}", std::process::id()));
+        let path = dir.join("unit.json");
+        let mut rec = RunRecorder::with_path("unit", &path);
+        rec.manifest.seed = Some(42);
+        rec.compare("mean IPC loss", 0.031, "≈3%");
+        rec.metrics().inc("events", 7);
+        let written = rec.finish();
+        let back = obs::RunManifest::read_from(&written).unwrap();
+        assert_eq!(back.name, "unit");
+        assert_eq!(back.seed, Some(42));
+        assert_eq!(back.metrics.counter("events"), Some(7));
+        assert_eq!(back.metrics.gauge("compare.mean_ipc_loss"), Some(0.031));
+        assert!(back.wall_seconds >= 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! End-to-end manifest tests: run the real figure binaries as
+//! subprocesses with `--json`, then feed the emitted files back through
+//! the `obs` parser. This is the contract the CI artifact pipeline and
+//! any manifest-diffing tooling rely on.
+
+use obs::RunManifest;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_binary(exe: &str, json_path: &PathBuf, quick: bool) {
+    let mut cmd = Command::new(exe);
+    cmd.arg("--json").arg(json_path);
+    if quick {
+        cmd.env("PV3T1D_QUICK", "1");
+    }
+    let out = cmd.output().expect("binary must launch");
+    assert!(
+        out.status.success(),
+        "{exe} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("manifest:"),
+        "{exe} must announce its manifest path"
+    );
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pv3t1d_manifest_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn sec21_manifest_round_trips() {
+    let path = temp_path("sec21.json");
+    run_binary(env!("CARGO_BIN_EXE_sec21_stability"), &path, true);
+    let m = RunManifest::read_from(&path).unwrap();
+    assert_eq!(m.name, "sec21_stability");
+    assert!(m.wall_seconds > 0.0);
+    assert!(m.workers >= 1);
+    // The analytic bit-flip table is a result metric, present and finite.
+    let p32 = m
+        .metrics
+        .gauge("bit_flip.32nm.typical")
+        .expect("bit-flip gauge present");
+    assert!(p32 > 0.0 && p32 < 1.0);
+    assert!(!m.deterministic_fingerprint().is_empty());
+
+    // Round-trip again: write the parsed manifest and re-read it.
+    let copy = temp_path("sec21_copy.json");
+    m.write_to(&copy).unwrap();
+    let back = RunManifest::read_from(&copy).unwrap();
+    assert_eq!(m.deterministic_fingerprint(), back.deterministic_fingerprint());
+    assert_eq!(m.metrics.to_json().render(), back.metrics.to_json().render());
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&copy).unwrap();
+}
+
+#[test]
+fn fig09_manifest_round_trips() {
+    // The acceptance-criteria run: the real Figure 9 binary in quick mode,
+    // manifest parsed back and checked for the scheme-comparison metrics.
+    let path = temp_path("fig09.json");
+    run_binary(env!("CARGO_BIN_EXE_fig09_scheme_comparison"), &path, true);
+    let m = RunManifest::read_from(&path).unwrap();
+    assert_eq!(m.name, "fig09");
+    assert_eq!(m.seed, Some(20_244));
+    assert_eq!(m.tech_node.as_deref(), Some("32nm"));
+    assert!(m.quick, "PV3T1D_QUICK=1 must be recorded");
+
+    // Every Figure 9 scheme exports a per-grade performance gauge and a
+    // merged cache-counter block.
+    for scheme in cachesim::Scheme::figure9_schemes() {
+        for grade in ["good", "median", "bad"] {
+            let g = m
+                .metrics
+                .gauge(&format!("scheme.{scheme}.perf.{grade}"))
+                .unwrap_or_else(|| panic!("missing perf gauge for {scheme}/{grade}"));
+            assert!(g > 0.5 && g <= 1.5, "{scheme}/{grade} perf {g} out of range");
+        }
+        assert!(
+            m.metrics
+                .counter(&format!("scheme.{scheme}.chips"))
+                .is_some(),
+            "missing merged counters for {scheme}"
+        );
+    }
+    // Campaign telemetry rides along but stays out of the fingerprint.
+    assert!(m.metrics.counter("campaign.units").is_some());
+    let fp = m.deterministic_fingerprint();
+    assert!(!fp.is_empty());
+    assert!(!fp.contains("campaign."), "timing metrics must not be fingerprinted");
+
+    // Full byte-level round trip through render + parse.
+    let copy = temp_path("fig09_copy.json");
+    m.write_to(&copy).unwrap();
+    let back = RunManifest::read_from(&copy).unwrap();
+    assert_eq!(back.seed, Some(20_244));
+    assert_eq!(m.metrics.to_json().render(), back.metrics.to_json().render());
+    assert_eq!(fp, back.deterministic_fingerprint());
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&copy).unwrap();
+}
+
+#[test]
+fn default_manifest_path_lands_in_results_dir() {
+    // Without --json the recorder must write results/<name>.json relative
+    // to the working directory.
+    let dir = temp_path("cwd");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_fig12_design_points"))
+        .env("PV3T1D_QUICK", "1")
+        .current_dir(&dir)
+        .output()
+        .expect("binary must launch");
+    assert!(out.status.success());
+    let m = RunManifest::read_from(&dir.join("results/fig12_points.json")).unwrap();
+    assert_eq!(m.name, "fig12_points");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

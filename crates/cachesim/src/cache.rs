@@ -960,6 +960,99 @@ impl DataCache {
             rec[..=pos].rotate_right(1);
         }
     }
+
+    /// Checks the cache's structural invariants, returning a description
+    /// of the first violation found. Intended for property tests: call it
+    /// after an arbitrary access sequence to assert the replacement and
+    /// refresh machinery never corrupted the per-set bookkeeping.
+    ///
+    /// Invariants checked for every set:
+    ///
+    /// 1. `recency` is a permutation of the set's way numbers;
+    /// 2. `ret_order` is a permutation ordered by non-increasing physical
+    ///    retention;
+    /// 3. `alive` equals the count of non-dead ways;
+    /// 4. under line-level schemes, a valid line in a dead way has
+    ///    `deadline == filled_at` (zero usable lifetime — it can never
+    ///    serve a hit);
+    /// 5. *no resurrection*: with no refresh engine (`RefreshPolicy::None`,
+    ///    LRU/DSP placement) and no write-buffer-stall refreshes, every
+    ///    valid line's deadline is at most `filled_at + lifetime` — nothing
+    ///    may extend data past its retention deadline. (RSP line moves and
+    ///    §4.3.1 stall refreshes legitimately rewrite cells, so the bound
+    ///    only binds when neither can occur.)
+    pub fn audit(&self) -> Result<(), String> {
+        let ways = self.cfg.geometry.ways();
+        let line_level = !matches!(self.cfg.scheme.refresh, RefreshPolicy::Global);
+        let no_resurrection = self.cfg.scheme.refresh == RefreshPolicy::None
+            && matches!(
+                self.cfg.scheme.replacement,
+                ReplacementPolicy::Lru | ReplacementPolicy::Dsp
+            )
+            && self.stats.writeback_stall_refreshes == 0;
+        for set in 0..self.cfg.geometry.sets() {
+            let range = self.set_range(set);
+            for (label, order) in [
+                ("recency", &self.recency[range.clone()]),
+                ("ret_order", &self.ret_order[range.clone()]),
+            ] {
+                let mut seen = [false; MAX_WAYS];
+                for &w in order {
+                    if (w as u32) >= ways || std::mem::replace(&mut seen[w as usize], true) {
+                        return Err(format!(
+                            "set {set}: {label} {order:?} is not a permutation of 0..{ways}"
+                        ));
+                    }
+                }
+            }
+            let ret = &self.ret_order[range];
+            for pair in ret.windows(2) {
+                let ra = self
+                    .retention
+                    .cycles(self.cfg.geometry.line_index(set, pair[0] as u32));
+                let rb = self
+                    .retention
+                    .cycles(self.cfg.geometry.line_index(set, pair[1] as u32));
+                if ra < rb {
+                    return Err(format!(
+                        "set {set}: ret_order {ret:?} not sorted by descending retention"
+                    ));
+                }
+            }
+            let alive_count = (0..ways).filter(|&w| !self.is_dead_way(set, w)).count();
+            if self.alive[set as usize] as usize != alive_count {
+                return Err(format!(
+                    "set {set}: alive count {} != actual {alive_count}",
+                    self.alive[set as usize]
+                ));
+            }
+            for way in 0..ways {
+                let idx = self.cfg.geometry.line_index(set, way);
+                let line = &self.lines[idx as usize];
+                if !line.valid {
+                    continue;
+                }
+                if line_level && self.is_dead_way(set, way) && line.deadline != line.filled_at {
+                    return Err(format!(
+                        "set {set} way {way}: valid line in a dead way has usable \
+                         lifetime (deadline {} != filled_at {})",
+                        line.deadline, line.filled_at
+                    ));
+                }
+                if no_resurrection {
+                    let bound = line.filled_at.saturating_add(self.lifetime(idx));
+                    if line.deadline > bound {
+                        return Err(format!(
+                            "set {set} way {way}: line resurrected past retention \
+                             (deadline {} > filled_at {} + lifetime)",
+                            line.deadline, line.filled_at
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1434,5 +1527,47 @@ mod tests {
         let mut c = DataCache::ideal();
         c.advance(100);
         c.advance(50);
+    }
+
+    #[test]
+    fn audit_passes_across_schemes_and_dead_ways() {
+        let mut rets = vec![40_000u64; 1024];
+        for set in 0..256 {
+            rets[(set * 4) as usize] = 0; // way 0 of every set dead
+        }
+        for scheme in [
+            Scheme::no_refresh_lru(),
+            Scheme::partial_refresh_dsp(),
+            Scheme::rsp_fifo(),
+            Scheme::rsp_lru(),
+            Scheme::new(RefreshPolicy::Full, ReplacementPolicy::Lru),
+        ] {
+            let mut c = cache_with(scheme, rets.clone());
+            c.audit().unwrap();
+            for i in 0..600u64 {
+                let set = (i % 64) as u32;
+                let kind = if i % 3 == 0 {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                let _ = c.access(i * 5, addr_for(set, 1 + i % 5), kind);
+            }
+            c.audit().unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        }
+    }
+
+    #[test]
+    fn stats_export_lands_in_registry() {
+        let mut c = uniform(Scheme::no_refresh_lru(), 5_000);
+        let a = addr_for(9, 2);
+        c.access(0, a, AccessKind::Load).unwrap();
+        c.access(10, a, AccessKind::Load).unwrap();
+        let mut m = obs::MetricsRegistry::new();
+        c.stats().export(&mut m, "cache");
+        assert_eq!(m.counter("cache.loads"), Some(2));
+        assert_eq!(m.counter("cache.hits"), Some(1));
+        assert!((m.gauge("cache.miss_rate").unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(m.get_histogram("cache.hit_age_cycles").unwrap().count(), 1);
     }
 }

@@ -146,6 +146,55 @@ impl CacheStats {
         d
     }
 
+    /// Exports every counter (and the hit-age histogram) into a metrics
+    /// registry under `prefix` — e.g. `fig09.scheme.RSP-FIFO.cache`. This
+    /// is the cache layer's half of the run-manifest contract: absolute
+    /// snapshot values, deterministic for a fixed seed whatever the
+    /// campaign worker count.
+    pub fn export(&self, m: &mut obs::MetricsRegistry, prefix: &str) {
+        let c = |m: &mut obs::MetricsRegistry, field: &str, v: u64| {
+            m.set_counter(&format!("{prefix}.{field}"), v);
+        };
+        c(m, "loads", self.loads);
+        c(m, "stores", self.stores);
+        c(m, "hits", self.hits);
+        c(m, "tag_misses", self.tag_misses);
+        c(m, "expiry_misses", self.expiry_misses);
+        c(m, "dead_way_events", self.dead_way_events);
+        c(m, "all_ways_dead_misses", self.all_ways_dead_misses);
+        c(m, "l2_misses", self.l2_misses);
+        c(m, "refreshes", self.refreshes);
+        c(m, "global_passes", self.global_passes);
+        c(m, "line_moves", self.line_moves);
+        c(m, "writebacks", self.writebacks);
+        c(m, "expiry_writebacks", self.expiry_writebacks);
+        c(m, "writeback_stall_refreshes", self.writeback_stall_refreshes);
+        c(m, "port_conflicts", self.port_conflicts);
+        c(m, "blocked_cycles", self.blocked_cycles);
+        c(m, "refresh_overruns", self.refresh_overruns);
+        m.set_gauge(&format!("{prefix}.miss_rate"), self.miss_rate());
+        // The Fig. 1 raw data: hit ages in 1024-cycle buckets. The sum is
+        // approximated from bucket centers (the simulator does not keep
+        // exact per-hit ages).
+        let approx_sum: f64 = self
+            .hit_age_hist
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as f64 + 0.5) * HIT_AGE_BUCKET_CYCLES as f64 * n as f64)
+            .sum();
+        m.put_histogram(
+            &format!("{prefix}.hit_age_cycles"),
+            obs::FixedHistogram::from_buckets(
+                0.0,
+                (HIT_AGE_BUCKETS as u64 * HIT_AGE_BUCKET_CYCLES) as f64,
+                self.hit_age_hist.to_vec(),
+                0,
+                0,
+                approx_sum,
+            ),
+        );
+    }
+
     /// Merges another run's counters into this one.
     pub fn merge(&mut self, o: &CacheStats) {
         self.loads += o.loads;

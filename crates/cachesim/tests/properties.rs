@@ -169,4 +169,68 @@ proptest! {
         prop_assert!(spec.usable_cycles(ret) <= ret);
         prop_assert_eq!(spec.is_dead(ret), ret < step as u64);
     }
+
+    #[test]
+    fn replacement_never_evicts_a_just_filled_line(trace in trace_strategy(),
+                                                   scheme in scheme_strategy(),
+                                                   set in 0u8..255) {
+        // After any warm-up trace: fill a fresh block, force one eviction
+        // in the same set, and the just-filled block must survive it.
+        // LRU/DSP protect the MRU way; RSP places fills in the
+        // longest-retention way and victimizes the shortest.
+        let cfg = CacheConfig::paper(scheme);
+        let mut cache = DataCache::new(cfg, RetentionProfile::uniform_cycles(1_000_000, 1024));
+        run_trace(&mut cache, &trace);
+        let g = Geometry::paper_l1d();
+        let set = set as u32 % g.sets();
+        let base = 4_000u64; // past any trace cycle (max 400 * 9)
+        let fresh = g.address_of(200, set);
+        let conflicting = g.address_of(201, set);
+        prop_assert!(!cache.access(base, fresh, AccessKind::Load).unwrap().hit);
+        let _ = cache.access(base + 1, conflicting, AccessKind::Load).unwrap();
+        prop_assert!(
+            cache.access(base + 2, fresh, AccessKind::Load).unwrap().hit,
+            "a fill in the same set evicted the just-filled line"
+        );
+    }
+
+    #[test]
+    fn bookkeeping_survives_arbitrary_traces(trace in trace_strategy(),
+                                             scheme in scheme_strategy(),
+                                             profile in retention_strategy()) {
+        // Recency stays a permutation, ret_order stays retention-sorted,
+        // alive counts stay exact — whatever the access sequence did.
+        let cfg = CacheConfig::paper(scheme);
+        let mut cache = DataCache::new(cfg, profile);
+        run_trace(&mut cache, &trace);
+        if let Err(violation) = cache.audit() {
+            prop_assert!(false, "audit failed for {}: {}", scheme, violation);
+        }
+    }
+
+    #[test]
+    fn no_refresh_never_resurrects_past_deadline(trace in trace_strategy(),
+                                                 use_dsp in any::<bool>(),
+                                                 ret in 5_000u64..60_000,
+                                                 set in 0u8..255,
+                                                 overshoot in 1u64..50_000) {
+        // Without a refresh engine a line must be gone once its raw
+        // retention elapses: a re-reference past the deadline may never
+        // hit, no matter what the preceding trace did to the set.
+        let replacement = if use_dsp { ReplacementPolicy::Dsp } else { ReplacementPolicy::Lru };
+        let cfg = CacheConfig::paper(Scheme::new(RefreshPolicy::None, replacement));
+        let mut cache = DataCache::new(cfg, RetentionProfile::uniform_cycles(ret, 1024));
+        run_trace(&mut cache, &trace);
+        let g = Geometry::paper_l1d();
+        let set = set as u32 % g.sets();
+        let addr = g.address_of(200, set);
+        let fill_at = 4_000u64;
+        let _ = cache.access(fill_at, addr, AccessKind::Load).unwrap();
+        let late = cache
+            .access(fill_at + ret + overshoot, addr, AccessKind::Load)
+            .unwrap();
+        prop_assert!(!late.hit, "expired line served a hit {} cycles past its deadline",
+                     overshoot);
+        cache.audit().unwrap();
+    }
 }

@@ -1,0 +1,261 @@
+//! JSON run manifests: the machine-readable record of one experiment run.
+//!
+//! A manifest captures everything needed to (a) regression-diff two runs
+//! of the same experiment and (b) reconstruct how a number was produced:
+//! the experiment name, base seed, technology node, scheme, worker count,
+//! wall clock, the source revision (`git describe`), and the full
+//! [`MetricsRegistry`]. The serialized form is stable, pretty-printed
+//! JSON — diffable by eye and parseable by
+//! [`RunManifest::from_json`] without any external crates.
+
+use crate::json::{Json, JsonError};
+use crate::registry::MetricsRegistry;
+use std::io;
+use std::path::Path;
+
+/// Manifest schema version, bumped on breaking layout changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// A complete run manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Experiment name (e.g. `fig09`).
+    pub name: String,
+    /// Base RNG seed of the run, when the experiment is seeded.
+    pub seed: Option<u64>,
+    /// Technology node label (e.g. `32nm`), when single-node.
+    pub tech_node: Option<String>,
+    /// Scheme label, when the run is about one scheme.
+    pub scheme: Option<String>,
+    /// Campaign worker threads used.
+    pub workers: u64,
+    /// Whether the run used the reduced `--quick` scale.
+    pub quick: bool,
+    /// End-to-end wall clock of the run in seconds.
+    pub wall_seconds: f64,
+    /// `git describe --always --dirty` of the source tree, when available.
+    pub git_describe: Option<String>,
+    /// All recorded metrics.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunManifest {
+    /// A fresh manifest for an experiment.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            seed: None,
+            tech_node: None,
+            scheme: None,
+            workers: 1,
+            quick: false,
+            wall_seconds: 0.0,
+            git_describe: None,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Queries the source revision via `git describe --always --dirty`.
+    /// Returns `None` outside a git checkout or without a `git` binary —
+    /// manifests must never fail a run over missing provenance.
+    pub fn detect_git_describe() -> Option<String> {
+        let out = std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let s = String::from_utf8(out.stdout).ok()?;
+        let s = s.trim();
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.to_string())
+        }
+    }
+
+    /// Serializes to pretty-printed JSON (ends with a newline).
+    pub fn to_json(&self) -> String {
+        let mut o = Json::object();
+        o.insert("schema", Json::Num(SCHEMA_VERSION as f64));
+        o.insert("name", Json::Str(self.name.clone()));
+        o.insert(
+            "seed",
+            self.seed.map_or(Json::Null, |s| Json::Num(s as f64)),
+        );
+        o.insert(
+            "tech_node",
+            self.tech_node.clone().map_or(Json::Null, Json::Str),
+        );
+        o.insert("scheme", self.scheme.clone().map_or(Json::Null, Json::Str));
+        o.insert("workers", Json::Num(self.workers as f64));
+        o.insert("quick", Json::Bool(self.quick));
+        o.insert("wall_seconds", Json::Num(self.wall_seconds));
+        o.insert(
+            "git",
+            self.git_describe.clone().map_or(Json::Null, Json::Str),
+        );
+        o.insert("metrics", self.metrics.to_json());
+        o.render_pretty()
+    }
+
+    /// Parses a manifest produced by [`RunManifest::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let bad = |msg: &str| JsonError {
+            at: 0,
+            msg: msg.to_string(),
+        };
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing schema"))?;
+        if schema != SCHEMA_VERSION {
+            return Err(bad(&format!(
+                "unsupported manifest schema {schema} (expected {SCHEMA_VERSION})"
+            )));
+        }
+        let opt_str = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        Ok(Self {
+            name: opt_str("name").ok_or_else(|| bad("missing name"))?,
+            seed: v.get("seed").and_then(Json::as_u64),
+            tech_node: opt_str("tech_node"),
+            scheme: opt_str("scheme"),
+            workers: v
+                .get("workers")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("missing workers"))?,
+            quick: v
+                .get("quick")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad("missing quick"))?,
+            wall_seconds: v
+                .get("wall_seconds")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad("missing wall_seconds"))?,
+            git_describe: opt_str("git"),
+            metrics: v
+                .get("metrics")
+                .and_then(MetricsRegistry::from_json)
+                .ok_or_else(|| bad("missing or malformed metrics"))?,
+        })
+    }
+
+    /// Writes the manifest to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a manifest file.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// The determinism fingerprint of the run's *results* (excluding
+    /// timing/scheduling metrics — see
+    /// [`MetricsRegistry::deterministic_fingerprint`]): two runs of the
+    /// same seeded experiment must produce equal fingerprints whatever
+    /// their worker counts.
+    pub fn deterministic_fingerprint(&self) -> String {
+        format!(
+            "name={}\nseed={:?}\nnode={:?}\nscheme={:?}\nquick={}\n{}",
+            self.name,
+            self.seed,
+            self.tech_node,
+            self.scheme,
+            self.quick,
+            self.metrics.deterministic_fingerprint()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut m = RunManifest::new("fig09");
+        m.seed = Some(20_244);
+        m.tech_node = Some("32nm".into());
+        m.workers = 8;
+        m.quick = true;
+        m.wall_seconds = 12.75;
+        m.git_describe = Some("abc1234-dirty".into());
+        m.metrics.inc("scheme.RSP-FIFO.hits", 123_456);
+        m.metrics.set_gauge("scheme.RSP-FIFO.perf", 0.9912345678901234);
+        m.metrics
+            .histogram("campaign.unit_seconds", 0.0, 2.0, 16)
+            .record(0.4);
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample();
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn optional_fields_round_trip_as_null() {
+        let m = RunManifest::new("bare");
+        let text = m.to_json();
+        assert!(text.contains("\"seed\": null"));
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back.seed, None);
+        assert_eq!(back.tech_node, None);
+        assert_eq!(back.git_describe, None);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = sample().to_json().replace("\"schema\": 1", "\"schema\": 99");
+        let err = RunManifest::from_json(&text).unwrap_err();
+        assert!(err.msg.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in ["", "{}", "[1,2,3]", "{\"schema\": 1}"] {
+            assert!(RunManifest::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn write_and_read_from_disk() {
+        let dir = std::env::temp_dir().join(format!("obs_manifest_test_{}", std::process::id()));
+        let path = dir.join("nested/fig09.json");
+        let m = sample();
+        m.write_to(&path).unwrap();
+        let back = RunManifest::read_from(&path).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_clock_and_workers() {
+        let a = sample();
+        let mut b = sample();
+        b.wall_seconds = 9999.0;
+        b.workers = 1;
+        b.git_describe = None; // provenance, not results
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        let mut c = sample();
+        c.metrics.inc("scheme.RSP-FIFO.hits", 1);
+        assert_ne!(a.deterministic_fingerprint(), c.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn git_describe_detection_never_panics() {
+        // May be Some or None depending on the environment; must not panic.
+        let _ = RunManifest::detect_git_describe();
+    }
+}

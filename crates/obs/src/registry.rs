@@ -1,0 +1,514 @@
+//! The metrics registry: named counters, gauges, and fixed-bucket
+//! histograms, with JSON round-tripping and a determinism fingerprint.
+//!
+//! Naming convention (relied on by [`MetricsRegistry::deterministic_fingerprint`]):
+//!
+//! * metric names are dot-separated paths, e.g. `fig09.scheme.RSP-FIFO.hits`;
+//! * anything that measures *time or scheduling* — and therefore legally
+//!   differs between two runs of the same experiment — either lives under
+//!   a `campaign.` prefix or ends in `_seconds` / `.seconds`. Everything
+//!   else must be bit-identical run-to-run under a fixed seed, whatever
+//!   the worker count.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A fixed-bucket linear histogram over `[lo, hi)` with explicit
+/// underflow/overflow counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram with `n` equal-width buckets spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `n == 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(n > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            hi,
+            buckets: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    /// Reconstructs a histogram from pre-counted buckets (e.g. importing a
+    /// simulator's internal histogram array). `sum` may be an estimate;
+    /// `count` is recomputed from the buckets.
+    pub fn from_buckets(
+        lo: f64,
+        hi: f64,
+        buckets: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+        sum: f64,
+    ) -> Self {
+        assert!(hi > lo && !buckets.is_empty(), "invalid histogram shape");
+        let count = buckets.iter().sum::<u64>() + underflow + overflow;
+        Self {
+            lo,
+            hi,
+            buckets,
+            underflow,
+            overflow,
+            count,
+            sum,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let i = (((value - self.lo) / width) as usize).min(self.buckets.len() - 1);
+            self.buckets[i] += 1;
+        }
+    }
+
+    /// Total observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The in-range bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// `(lo, hi)` bounds.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Adds another histogram's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes (bounds or bucket count) differ.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.buckets.len() == other.buckets.len(),
+            "merging histograms of different shapes"
+        );
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.insert("lo", Json::Num(self.lo));
+        o.insert("hi", Json::Num(self.hi));
+        o.insert(
+            "buckets",
+            Json::Arr(self.buckets.iter().map(|&c| Json::Num(c as f64)).collect()),
+        );
+        o.insert("underflow", Json::Num(self.underflow as f64));
+        o.insert("overflow", Json::Num(self.overflow as f64));
+        o.insert("count", Json::Num(self.count as f64));
+        o.insert("sum", Json::Num(self.sum));
+        o
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        let lo = v.get("lo")?.as_f64()?;
+        let hi = v.get("hi")?.as_f64()?;
+        let buckets: Option<Vec<u64>> = v.get("buckets")?.as_arr()?.iter().map(Json::as_u64).collect();
+        let mut h = Self {
+            lo,
+            hi,
+            buckets: buckets?,
+            underflow: v.get("underflow")?.as_u64()?,
+            overflow: v.get("overflow")?.as_u64()?,
+            count: v.get("count")?.as_u64()?,
+            sum: v.get("sum")?.as_f64()?,
+        };
+        if h.hi <= h.lo || h.buckets.is_empty() {
+            return None;
+        }
+        // Trust the recorded count only if consistent; recompute otherwise.
+        let derived = h.buckets.iter().sum::<u64>() + h.underflow + h.overflow;
+        if h.count != derived {
+            h.count = derived;
+        }
+        Some(h)
+    }
+}
+
+/// A registry of named metrics, the in-memory half of a run manifest.
+///
+/// Deliberately not thread-safe: the workspace's campaign engine merges
+/// worker results on the coordinating thread after the fan-out joins, so
+/// metrics are always recorded from one place. (A `Mutex<MetricsRegistry>`
+/// works where concurrent recording is genuinely needed.)
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, FixedHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to a counter, creating it at zero first if absent.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Sets a counter to an absolute value.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds to a gauge, creating it at zero first if absent (used by span
+    /// timers to accumulate seconds).
+    pub fn add_gauge(&mut self, name: &str, value: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += value;
+    }
+
+    /// Returns the named histogram, creating it with the given shape on
+    /// first use. The shape of an existing histogram wins.
+    pub fn histogram(&mut self, name: &str, lo: f64, hi: f64, n: usize) -> &mut FixedHistogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| FixedHistogram::new(lo, hi, n))
+    }
+
+    /// Inserts (or replaces) a fully-built histogram.
+    pub fn put_histogram(&mut self, name: &str, h: FixedHistogram) {
+        self.histograms.insert(name.to_string(), h);
+    }
+
+    /// Records a span duration: bumps `{name}.calls` and accumulates
+    /// `{name}.seconds`. See the [`crate::span!`] macro.
+    pub fn record_span(&mut self, name: &str, elapsed: Duration) {
+        self.inc(&format!("{name}.calls"), 1);
+        self.add_gauge(&format!("{name}.seconds"), elapsed.as_secs_f64());
+    }
+
+    /// A counter's value, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// A gauge's value, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, if recorded.
+    pub fn get_histogram(&self, name: &str) -> Option<&FixedHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> &BTreeMap<String, FixedHistogram> {
+        &self.histograms
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Whether a metric name is exempt from determinism comparisons:
+    /// wall-clock and scheduling metrics (`campaign.*` scheduling data,
+    /// `*.seconds` / `*_seconds` timings) legitimately vary run-to-run.
+    pub fn is_timing_metric(name: &str) -> bool {
+        name.starts_with("campaign.")
+            || name.contains(".campaign.")
+            || name.ends_with(".seconds")
+            || name.ends_with("_seconds")
+            || name.ends_with(".speedup")
+    }
+
+    /// A canonical rendering of every *deterministic* metric (see
+    /// [`MetricsRegistry::is_timing_metric`]): two runs of the same seeded
+    /// experiment must produce identical fingerprints regardless of worker
+    /// count, machine load, or wall clock. Float gauges are rendered
+    /// bit-exactly (hex of the IEEE-754 pattern), so this is a true
+    /// bit-identity check, not an approximate one.
+    pub fn deterministic_fingerprint(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            if !Self::is_timing_metric(k) {
+                out.push_str(&format!("c {k}={v}\n"));
+            }
+        }
+        for (k, v) in &self.gauges {
+            if !Self::is_timing_metric(k) {
+                out.push_str(&format!("g {k}={:016x}\n", v.to_bits()));
+            }
+        }
+        for (k, h) in &self.histograms {
+            if !Self::is_timing_metric(k) {
+                out.push_str(&format!(
+                    "h {k}={:?}/{}/{}/{:016x}\n",
+                    h.buckets(),
+                    h.underflow(),
+                    h.overflow(),
+                    h.sum().to_bits()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Merges another registry: counters add, gauges overwrite (last
+    /// writer wins), histograms of matching shape add.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.set_gauge(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes the registry to a JSON value with `counters`, `gauges`,
+    /// and `histograms` members.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::object();
+        for (k, v) in &self.counters {
+            counters.insert(k, Json::Num(*v as f64));
+        }
+        let mut gauges = Json::object();
+        for (k, v) in &self.gauges {
+            gauges.insert(k, Json::Num(*v));
+        }
+        let mut histograms = Json::object();
+        for (k, h) in &self.histograms {
+            histograms.insert(k, h.to_json());
+        }
+        let mut o = Json::object();
+        o.insert("counters", counters);
+        o.insert("gauges", gauges);
+        o.insert("histograms", histograms);
+        o
+    }
+
+    /// Rebuilds a registry from [`MetricsRegistry::to_json`] output.
+    /// Returns `None` on structural mismatch (missing members, non-numeric
+    /// values).
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let mut reg = Self::new();
+        for (k, val) in v.get("counters")?.as_obj()? {
+            reg.counters.insert(k.clone(), val.as_u64()?);
+        }
+        for (k, val) in v.get("gauges")?.as_obj()? {
+            // Gauges may have been non-finite at write time, which JSON
+            // renders as null; resurrect those as NaN.
+            let g = match val {
+                Json::Null => f64::NAN,
+                other => other.as_f64()?,
+            };
+            reg.gauges.insert(k.clone(), g);
+        }
+        for (k, val) in v.get("histograms")?.as_obj()? {
+            reg.histograms.insert(k.clone(), FixedHistogram::from_json(val)?);
+        }
+        Some(reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_set() {
+        let mut m = MetricsRegistry::new();
+        m.inc("hits", 3);
+        m.inc("hits", 4);
+        assert_eq!(m.counter("hits"), Some(7));
+        m.set_counter("hits", 1);
+        assert_eq!(m.counter("hits"), Some(1));
+        assert_eq!(m.counter("absent"), None);
+    }
+
+    #[test]
+    fn gauges_set_and_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("ipc", 0.97);
+        m.add_gauge("span.seconds", 0.5);
+        m.add_gauge("span.seconds", 0.25);
+        assert_eq!(m.gauge("ipc"), Some(0.97));
+        assert_eq!(m.gauge("span.seconds"), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_buckets_and_flows() {
+        let mut h = FixedHistogram::new(0.0, 10.0, 5);
+        for v in [-1.0, 0.0, 1.9, 2.0, 9.99, 10.0, 55.0] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 7);
+        assert!((h.mean() - (h.sum() / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_requires_same_shape() {
+        let mut a = FixedHistogram::new(0.0, 4.0, 4);
+        let mut b = FixedHistogram::new(0.0, 4.0, 4);
+        a.record(1.0);
+        b.record(3.0);
+        b.record(-2.0);
+        a.merge(&b);
+        assert_eq!(a.buckets(), &[0, 1, 0, 1]);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.count(), 3);
+        let differently_shaped = FixedHistogram::new(0.0, 8.0, 4);
+        assert!(std::panic::catch_unwind(move || a.merge(&differently_shaped)).is_err());
+    }
+
+    #[test]
+    fn span_recording_creates_both_metrics() {
+        let mut m = MetricsRegistry::new();
+        m.record_span("trace.record", Duration::from_millis(250));
+        m.record_span("trace.record", Duration::from_millis(250));
+        assert_eq!(m.counter("trace.record.calls"), Some(2));
+        assert!((m.gauge("trace.record.seconds").unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        let mut m = MetricsRegistry::new();
+        m.inc("cache.hits", 90210);
+        m.set_gauge("perf.normalized", 0.9871234567890123);
+        let h = m.histogram("unit_times", 0.0, 2.0, 8);
+        h.record(0.1);
+        h.record(1.99);
+        h.record(5.0);
+        let json = m.to_json().render_pretty();
+        let back = MetricsRegistry::from_json(&Json::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn fingerprint_ignores_timing_but_keeps_results() {
+        let mut a = MetricsRegistry::new();
+        a.inc("cache.hits", 100);
+        a.set_gauge("perf", 0.99);
+        a.set_gauge("wall_seconds", 1.5);
+        a.inc("campaign.units", 24);
+        a.set_gauge("eval.seconds", 2.0);
+
+        let mut b = MetricsRegistry::new();
+        b.inc("cache.hits", 100);
+        b.set_gauge("perf", 0.99);
+        b.set_gauge("wall_seconds", 99.0); // timing differs
+        b.inc("campaign.units", 7); // scheduling differs
+        b.set_gauge("eval.seconds", 0.1);
+
+        assert_eq!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+
+        b.inc("cache.hits", 1); // a *result* difference must show
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_float_bit_patterns() {
+        let mut a = MetricsRegistry::new();
+        a.set_gauge("x", 0.1 + 0.2);
+        let mut b = MetricsRegistry::new();
+        b.set_gauge("x", 0.3);
+        // 0.1 + 0.2 != 0.3 in f64: the fingerprint must see that.
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.inc("n", 1);
+        a.histogram("h", 0.0, 1.0, 2).record(0.1);
+        let mut b = MetricsRegistry::new();
+        b.inc("n", 2);
+        b.set_gauge("g", 9.0);
+        b.histogram("h", 0.0, 1.0, 2).record(0.9);
+        b.histogram("only_b", 0.0, 1.0, 2).record(0.2);
+        a.merge(&b);
+        assert_eq!(a.counter("n"), Some(3));
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.get_histogram("h").unwrap().count(), 2);
+        assert_eq!(a.get_histogram("only_b").unwrap().count(), 1);
+    }
+}

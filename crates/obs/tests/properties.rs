@@ -1,0 +1,118 @@
+//! Round-trip property tests for the observability layer: any registry or
+//! manifest the instrumentation can build must survive render → parse
+//! without losing a bit. The determinism suite depends on this — two runs
+//! are compared through their *serialized* manifests, so serialization
+//! itself must be exact.
+
+use obs::{FixedHistogram, Json, MetricsRegistry, RunManifest};
+use proptest::prelude::*;
+
+/// Finite f64s across the full bit range (subnormals, extremes, negative
+/// zero) — the values the fingerprint must preserve bit-for-bit.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let v = f64::from_bits(bits);
+        if v.is_finite() {
+            v
+        } else {
+            (bits >> 11) as f64 * 1e-3
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn registry_round_trips_bit_exactly(
+        // Counters are documented exact up to 2^53 (stored as f64 in JSON).
+        counters in proptest::collection::vec((0u8..50, 0u64..1 << 53), 0..16),
+        gauges in proptest::collection::vec((0u8..50, finite_f64()), 0..16),
+        buckets in proptest::collection::vec(0u64..1_000_000, 1..12),
+        under in 0u64..100,
+        over in 0u64..100,
+        sum in finite_f64(),
+    ) {
+        let mut m = MetricsRegistry::new();
+        for (i, v) in &counters {
+            m.set_counter(&format!("c{i:02}.events"), *v);
+        }
+        for (i, v) in &gauges {
+            m.set_gauge(&format!("g{i:02}.value"), *v);
+        }
+        let n = buckets.len();
+        m.put_histogram(
+            "h.dist",
+            FixedHistogram::from_buckets(0.0, n as f64, buckets, under, over, sum),
+        );
+
+        let text = m.to_json().render();
+        let parsed = Json::parse(&text).expect("rendered registry must parse");
+        let back = MetricsRegistry::from_json(&parsed).expect("parsed registry must load");
+
+        // Bit-exact: the fingerprint prints raw bits, and a second render
+        // must be byte-identical to the first.
+        prop_assert_eq!(m.deterministic_fingerprint(), back.deterministic_fingerprint());
+        prop_assert_eq!(text, back.to_json().render());
+        for (name, v) in m.gauges() {
+            prop_assert_eq!(v.to_bits(), back.gauge(name).unwrap().to_bits());
+        }
+        let h = back.get_histogram("h.dist").expect("histogram survives");
+        prop_assert_eq!(h.count(), m.get_histogram("h.dist").unwrap().count());
+    }
+
+    #[test]
+    fn manifest_round_trips_through_text(
+        seed in (any::<bool>(), 0u64..1 << 53).prop_map(|(some, v)| some.then_some(v)),
+        workers in 1u64..64,
+        quick in any::<bool>(),
+        wall in 0.0f64..1e6,
+        counter in 0u64..1 << 53,
+        gauge in finite_f64(),
+    ) {
+        let mut m = RunManifest::new("prop");
+        m.seed = seed;
+        m.workers = workers;
+        m.quick = quick;
+        m.wall_seconds = wall;
+        m.tech_node = Some("32nm".to_string());
+        m.scheme = Some("RSP-FIFO".to_string());
+        m.metrics.set_counter("cachesim.hits", counter);
+        m.metrics.set_gauge("scheme.perf", gauge);
+        m.metrics.set_gauge("campaign.speedup", 3.5); // timing: not fingerprinted
+
+        let text = m.to_json();
+        let back = RunManifest::from_json(&text).expect("manifest must parse");
+        prop_assert_eq!(back.seed, seed);
+        prop_assert_eq!(back.workers, workers);
+        prop_assert_eq!(back.quick, quick);
+        prop_assert_eq!(back.wall_seconds.to_bits(), wall.to_bits());
+        prop_assert_eq!(back.tech_node.as_deref(), Some("32nm"));
+        prop_assert_eq!(back.metrics.counter("cachesim.hits"), Some(counter));
+        prop_assert_eq!(
+            back.metrics.gauge("scheme.perf").unwrap().to_bits(),
+            gauge.to_bits()
+        );
+        prop_assert_eq!(m.deterministic_fingerprint(), back.deterministic_fingerprint());
+        prop_assert!(!m.deterministic_fingerprint().contains("campaign.speedup"));
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_for_fingerprints(
+        a_counts in proptest::collection::vec((0u8..20, 0u64..1 << 40), 0..10),
+        b_counts in proptest::collection::vec((0u8..20, 0u64..1 << 40), 0..10),
+    ) {
+        let build = |pairs: &[(u8, u64)]| {
+            let mut m = MetricsRegistry::new();
+            for (i, v) in pairs {
+                m.inc(&format!("k{i:02}"), *v);
+            }
+            m
+        };
+        let mut ab = build(&a_counts);
+        ab.merge(&build(&b_counts));
+        let mut ba = build(&b_counts);
+        ba.merge(&build(&a_counts));
+        prop_assert_eq!(ab.deterministic_fingerprint(), ba.deterministic_fingerprint());
+    }
+}

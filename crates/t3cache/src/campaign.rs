@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::chip::ChipModel;
-use crate::evaluate::{Evaluator, SuiteResult};
+use crate::evaluate::{Evaluator, SuiteResult, UnitEval};
 use cachesim::Scheme;
 
 /// Environment variable overriding the worker count (`0` or unset ⇒
@@ -56,7 +56,7 @@ pub fn worker_count() -> usize {
 }
 
 /// Timing summary of one campaign run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CampaignReport {
     /// Work units executed.
     pub units: usize,
@@ -67,6 +67,11 @@ pub struct CampaignReport {
     /// Sum of the individual unit times — what a serial loop over the
     /// same units would have cost (modulo cache warmth).
     pub serial_estimate: Duration,
+    /// Units each worker claimed off the shared counter (work-stealing
+    /// balance; length = worker count).
+    pub per_worker_units: Vec<usize>,
+    /// Per-unit execution times in seconds, indexed by unit.
+    pub unit_seconds: Vec<f64>,
 }
 
 impl CampaignReport {
@@ -81,12 +86,20 @@ impl CampaignReport {
 
     /// Folds another fan-out's timing into this one (for binaries that run
     /// several campaigns and report one aggregate banner): units, wall and
-    /// serial estimate add; the worker count takes the maximum.
+    /// serial estimate add; the worker count takes the maximum; per-worker
+    /// steal counts add slot-wise; unit timings concatenate.
     pub fn absorb(&mut self, other: &CampaignReport) {
         self.units += other.units;
         self.workers = self.workers.max(other.workers);
         self.wall += other.wall;
         self.serial_estimate += other.serial_estimate;
+        if self.per_worker_units.len() < other.per_worker_units.len() {
+            self.per_worker_units.resize(other.per_worker_units.len(), 0);
+        }
+        for (slot, &n) in self.per_worker_units.iter_mut().zip(&other.per_worker_units) {
+            *slot += n;
+        }
+        self.unit_seconds.extend_from_slice(&other.unit_seconds);
     }
 
     /// An empty report to [`CampaignReport::absorb`] into.
@@ -96,6 +109,42 @@ impl CampaignReport {
             workers: 1,
             wall: Duration::ZERO,
             serial_estimate: Duration::ZERO,
+            per_worker_units: Vec::new(),
+            unit_seconds: Vec::new(),
+        }
+    }
+
+    /// Exports the campaign timing under the `campaign.` prefix: unit and
+    /// worker counts, wall/serial seconds, measured speedup, per-worker
+    /// steal counts, and a 16-bucket histogram of unit times. All of these
+    /// names fall under [`obs::MetricsRegistry::is_timing_metric`], so they
+    /// are recorded in manifests but excluded from determinism
+    /// fingerprints (scheduling is allowed to differ between runs).
+    pub fn export(&self, m: &mut obs::MetricsRegistry) {
+        m.set_counter("campaign.units", self.units as u64);
+        m.set_counter("campaign.workers", self.workers as u64);
+        m.set_gauge("campaign.wall_seconds", self.wall.as_secs_f64());
+        m.set_gauge(
+            "campaign.serial_estimate_seconds",
+            self.serial_estimate.as_secs_f64(),
+        );
+        m.set_gauge("campaign.speedup", self.speedup());
+        for (w, &n) in self.per_worker_units.iter().enumerate() {
+            m.set_counter(&format!("campaign.worker.{w:02}.units"), n as u64);
+        }
+        if !self.unit_seconds.is_empty() {
+            let hi = self
+                .unit_seconds
+                .iter()
+                .cloned()
+                .fold(0.0f64, f64::max)
+                .max(1e-9);
+            // Upper edge nudged so the maximum lands in the last bucket
+            // rather than the overflow slot.
+            let h = m.histogram("campaign.unit_seconds", 0.0, hi * (1.0 + 1e-12), 16);
+            for &s in &self.unit_seconds {
+                h.record(s);
+            }
         }
     }
 
@@ -173,12 +222,15 @@ where
 
     // Merge into pre-indexed slots: output order is unit-index order, no
     // matter which worker finished which unit when.
+    let per_worker_units: Vec<usize> = batches.iter().map(Vec::len).collect();
     let mut serial_estimate = Duration::ZERO;
+    let mut unit_seconds = vec![0.0f64; n];
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
     for batch in &mut batches {
         for (i, r, dt) in batch.drain(..) {
             serial_estimate += dt;
+            unit_seconds[i] = dt.as_secs_f64();
             debug_assert!(slots[i].is_none(), "unit {i} computed twice");
             slots[i] = Some(r);
         }
@@ -194,6 +246,8 @@ where
         workers,
         wall: start.elapsed(),
         serial_estimate,
+        per_worker_units,
+        unit_seconds,
     };
     (results, report)
 }
@@ -215,25 +269,59 @@ pub struct UnitResult {
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
     /// `grid[s][c]` is chip `c` under scheme `s`, in input order.
-    pub grid: Vec<Vec<(f64, f64)>>,
+    pub grid: Vec<Vec<UnitEval>>,
     /// Timing of the fan-out.
     pub report: CampaignReport,
 }
 
 impl CampaignResult {
-    /// The per-chip `(perf, power)` vector for one scheme, in chip order.
-    pub fn per_chip(&self, scheme: usize) -> &[(f64, f64)] {
+    /// The per-chip evaluations for one scheme, in chip order.
+    pub fn per_chip(&self, scheme: usize) -> &[UnitEval] {
         &self.grid[scheme]
     }
 
     /// Per-chip normalized performances for one scheme.
     pub fn perfs(&self, scheme: usize) -> Vec<f64> {
-        self.grid[scheme].iter().map(|&(p, _)| p).collect()
+        self.grid[scheme].iter().map(|u| u.perf).collect()
     }
 
     /// Per-chip normalized dynamic powers for one scheme.
     pub fn powers(&self, scheme: usize) -> Vec<f64> {
-        self.grid[scheme].iter().map(|&(_, p)| p).collect()
+        self.grid[scheme].iter().map(|u| u.power).collect()
+    }
+
+    /// Exports one scheme's row into a metrics registry under
+    /// `scheme.<label>`: mean normalized perf/power across chips plus the
+    /// cache and pipeline counters summed over every chip's suite. These
+    /// are *result* metrics — deterministic for a fixed seed and part of
+    /// the manifest determinism fingerprint.
+    pub fn export_scheme(&self, m: &mut obs::MetricsRegistry, scheme: usize, label: &str) {
+        let row = &self.grid[scheme];
+        let prefix = format!("scheme.{label}");
+        if !row.is_empty() {
+            let n = row.len() as f64;
+            let perf_mean = row.iter().map(|u| u.perf).sum::<f64>() / n;
+            let power_mean = row.iter().map(|u| u.power).sum::<f64>() / n;
+            m.set_gauge(&format!("{prefix}.perf.mean"), perf_mean);
+            m.set_gauge(&format!("{prefix}.power.mean"), power_mean);
+            m.set_counter(&format!("{prefix}.chips"), row.len() as u64);
+            let mut total = row[0];
+            for u in &row[1..] {
+                total.merge_counters(u);
+            }
+            total.cache.export(m, &format!("{prefix}.cache"));
+            total.sim.export(m, &format!("{prefix}.pipe"));
+        }
+    }
+
+    /// [`CampaignResult::export_scheme`] over every scheme, followed by the
+    /// campaign timing (`campaign.*`, fingerprint-excluded).
+    pub fn export(&self, m: &mut obs::MetricsRegistry, labels: &[String]) {
+        assert_eq!(labels.len(), self.grid.len(), "one label per scheme");
+        for (s, label) in labels.iter().enumerate() {
+            self.export_scheme(m, s, label);
+        }
+        self.report.export(m);
     }
 }
 
@@ -267,7 +355,7 @@ pub fn evaluate_grid_with_workers(
     eval.warm_traces();
     let (flat, report) = map_indexed_with_workers(units, workers, |i| {
         let (s, c) = (i / n_chips, i % n_chips);
-        eval.evaluate_chip(chips[c], schemes[s], ideal)
+        eval.evaluate_chip_full(chips[c], schemes[s], ideal)
     });
     let mut grid = Vec::with_capacity(schemes.len());
     let mut it = flat.into_iter();
@@ -313,9 +401,37 @@ mod tests {
             workers: 2,
             wall: Duration::from_millis(500),
             serial_estimate: Duration::from_millis(1500),
+            ..CampaignReport::empty()
         };
         assert!((r.speedup() - 3.0).abs() < 1e-9);
         assert!(r.banner_line().contains("3.00x"));
+    }
+
+    #[test]
+    fn report_tracks_worker_balance_and_unit_times() {
+        let (_, report) = map_indexed_with_workers(40, 4, |i| i);
+        assert_eq!(report.per_worker_units.iter().sum::<usize>(), 40);
+        assert_eq!(report.unit_seconds.len(), 40);
+        assert!(report.unit_seconds.iter().all(|&s| s >= 0.0));
+
+        let mut total = CampaignReport::empty();
+        total.absorb(&report);
+        total.absorb(&report);
+        assert_eq!(total.units, 80);
+        assert_eq!(total.unit_seconds.len(), 80);
+        assert_eq!(
+            total.per_worker_units.iter().sum::<usize>(),
+            80,
+            "steal counts add slot-wise"
+        );
+
+        let mut m = obs::MetricsRegistry::new();
+        total.export(&mut m);
+        assert_eq!(m.counter("campaign.units"), Some(80));
+        assert_eq!(m.get_histogram("campaign.unit_seconds").unwrap().count(), 80);
+        // Everything the report exports is scheduling/timing — excluded
+        // from determinism fingerprints by the naming convention.
+        assert_eq!(m.deterministic_fingerprint(), "");
     }
 
     /// The headline determinism regression: a campaign on one worker and
@@ -345,13 +461,23 @@ mod tests {
         // And identical to the plain serial nested loop over evaluate_chip.
         for (s, &scheme) in schemes.iter().enumerate() {
             for (c, chip) in chips.iter().enumerate() {
+                let u = parallel.grid[s][c];
                 assert_eq!(
-                    parallel.grid[s][c],
+                    (u.perf, u.power),
                     eval.evaluate_chip(chip, scheme, &ideal),
                     "scheme {s} chip {c}"
                 );
             }
         }
+
+        // The exported result metrics are bit-identical too — the
+        // manifest-level determinism contract.
+        let mut ms = obs::MetricsRegistry::new();
+        let mut mp = obs::MetricsRegistry::new();
+        let labels: Vec<String> = schemes.iter().map(|s| s.to_string()).collect();
+        serial.export(&mut ms, &labels);
+        parallel.export(&mut mp, &labels);
+        assert_eq!(ms.deterministic_fingerprint(), mp.deterministic_fingerprint());
     }
 
     #[test]

@@ -306,11 +306,68 @@ impl Evaluator {
         scheme: Scheme,
         ideal: &SuiteResult,
     ) -> (f64, f64) {
+        let u = self.evaluate_chip_full(chip, scheme, ideal);
+        (u.perf, u.power)
+    }
+
+    /// [`Evaluator::evaluate_chip`] keeping the full counter detail: the
+    /// normalized numbers plus the suite-aggregated cache and pipeline
+    /// counters, so campaigns can surface *why* a scheme won or lost in
+    /// their run manifests.
+    pub fn evaluate_chip_full(
+        &self,
+        chip: &ChipModel,
+        scheme: Scheme,
+        ideal: &SuiteResult,
+    ) -> UnitEval {
         let suite = self.run_scheme(chip.retention_profile(), scheme, 4);
-        (
-            suite.normalized_performance(ideal, 1.0),
-            suite.normalized_dynamic_power(ideal, MemKind::Dram3t1d),
-        )
+        let mut cache = CacheStats::default();
+        let mut sim = SimResult::default();
+        for run in &suite.runs {
+            cache.merge(&run.cache);
+            sim.merge(&run.sim);
+        }
+        UnitEval {
+            perf: suite.normalized_performance(ideal, 1.0),
+            power: suite.normalized_dynamic_power(ideal, MemKind::Dram3t1d),
+            hm_ipc: suite.hm_ipc(),
+            cache,
+            sim,
+        }
+    }
+}
+
+/// One `(chip, scheme)` evaluation with its full counter detail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitEval {
+    /// Performance normalized against the ideal-6T baseline.
+    pub perf: f64,
+    /// Dynamic power normalized against the ideal-6T baseline.
+    pub power: f64,
+    /// Harmonic-mean IPC over the suite.
+    pub hm_ipc: f64,
+    /// Cache counters summed across the suite's benchmarks.
+    pub cache: CacheStats,
+    /// Pipeline counters summed across the suite's benchmarks.
+    pub sim: SimResult,
+}
+
+impl UnitEval {
+    /// Exports the unit's numbers and both counter layers under `prefix`.
+    pub fn export(&self, m: &mut obs::MetricsRegistry, prefix: &str) {
+        m.set_gauge(&format!("{prefix}.perf"), self.perf);
+        m.set_gauge(&format!("{prefix}.power"), self.power);
+        m.set_gauge(&format!("{prefix}.hm_ipc"), self.hm_ipc);
+        self.cache.export(m, &format!("{prefix}.cache"));
+        self.sim.export(m, &format!("{prefix}.pipe"));
+    }
+
+    /// Merges another unit's raw counters into this one. The normalized
+    /// numbers (`perf`, `power`, `hm_ipc`) are ratios and do not sum —
+    /// they are left untouched; the caller recomputes summary gauges.
+    pub fn merge_counters(&mut self, o: &UnitEval) {
+        self.cache.merge(&o.cache);
+        self.sim.merge(&o.sim);
     }
 }
 

@@ -51,6 +51,6 @@ pub use campaign::{evaluate_grid, map_indexed, CampaignReport, CampaignResult};
 pub use chip::{ChipGrade, ChipModel, ChipPopulation};
 pub use rescue::{cache_yield, rescue_report, RescueMechanism, RescueReport};
 pub use wordlevel::{line_level_demand, word_level_demand, word_vs_line, RefreshDemand};
-pub use evaluate::{BenchRun, EvalConfig, Evaluator, SuiteResult};
+pub use evaluate::{BenchRun, EvalConfig, Evaluator, SuiteResult, UnitEval};
 pub use sensitivity::{design_point, synthetic_profile, SensitivityPoint, SensitivitySweep};
 pub use table3::{cache_power_saving, table3_rows, Design, Table3Row};

@@ -1,0 +1,94 @@
+//! The PR's headline determinism contract, end to end: an identical
+//! campaign on one worker and on eight workers must produce bit-identical
+//! merged results AND bit-identical manifest metrics — scheduling may only
+//! change the timing metrics, which the fingerprint excludes by naming
+//! convention.
+
+use cachesim::Scheme;
+use t3cache::campaign::{evaluate_grid_with_workers, map_indexed_with_workers};
+use t3cache::chip::{ChipModel, ChipPopulation};
+use t3cache::evaluate::{EvalConfig, Evaluator};
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+use workloads::SpecBenchmark;
+
+fn small_campaign(workers: usize) -> (t3cache::campaign::CampaignResult, Vec<String>, Evaluator) {
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Severe.params(), 4, 20_244);
+    let chips: Vec<&ChipModel> = pop.chips().iter().collect();
+    let schemes = [
+        Scheme::no_refresh_lru(),
+        Scheme::partial_refresh_dsp(),
+        Scheme::rsp_fifo(),
+    ];
+    let eval = Evaluator::new(EvalConfig {
+        benchmarks: vec![SpecBenchmark::Gzip, SpecBenchmark::Mcf],
+        ..EvalConfig::quick()
+    });
+    let ideal = eval.run_ideal(4);
+    let result = evaluate_grid_with_workers(&eval, &chips, &schemes, &ideal, workers);
+    let labels = schemes.iter().map(|s| s.to_string()).collect();
+    (result, labels, eval)
+}
+
+#[test]
+fn campaign_one_vs_eight_workers_is_bit_identical() {
+    let (serial, labels, _) = small_campaign(1);
+    let (parallel, _, _) = small_campaign(8);
+
+    // Merged per-unit results: bit-exact f64 equality, not tolerance.
+    assert_eq!(serial.grid.len(), parallel.grid.len());
+    for (s, (row_s, row_p)) in serial.grid.iter().zip(&parallel.grid).enumerate() {
+        for (c, (a, b)) in row_s.iter().zip(row_p).enumerate() {
+            assert_eq!(
+                a.perf.to_bits(),
+                b.perf.to_bits(),
+                "perf diverged at scheme {s} chip {c}"
+            );
+            assert_eq!(
+                a.power.to_bits(),
+                b.power.to_bits(),
+                "power diverged at scheme {s} chip {c}"
+            );
+            assert_eq!(a.cache, b.cache, "cache counters diverged at {s}/{c}");
+            assert_eq!(a.sim, b.sim, "pipeline counters diverged at {s}/{c}");
+        }
+    }
+
+    // The scheduling telemetry is the one thing allowed to differ.
+    assert_eq!(serial.report.workers, 1);
+    assert_eq!(parallel.report.workers, 8.min(serial.report.units));
+
+    // Manifest-level contract: write both runs as manifests, read them
+    // back, and compare the result-metric fingerprints byte for byte.
+    let dir = std::env::temp_dir().join(format!("pv3t1d_determinism_{}", std::process::id()));
+    let mut fingerprints = Vec::new();
+    for (tag, result) in [("w1", &serial), ("w8", &parallel)] {
+        let mut manifest = obs::RunManifest::new("determinism");
+        manifest.seed = Some(20_244);
+        manifest.workers = result.report.workers as u64;
+        result.export(&mut manifest.metrics, &labels);
+        result.report.export(&mut manifest.metrics);
+        let path = dir.join(format!("{tag}.json"));
+        manifest.write_to(&path).unwrap();
+        let back = obs::RunManifest::read_from(&path).unwrap();
+        fingerprints.push(back.deterministic_fingerprint());
+    }
+    assert!(!fingerprints[0].is_empty(), "fingerprint must cover result metrics");
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "manifest result metrics must not depend on the worker count"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn map_indexed_merge_order_is_worker_count_invariant() {
+    // The raw engine primitive behind every campaign: results land in
+    // submission order regardless of which worker computed them.
+    for workers in [2, 3, 8, 16] {
+        let (serial, _) = map_indexed_with_workers(37, 1, |i| (i, i * i));
+        let (parallel, report) = map_indexed_with_workers(37, workers, |i| (i, i * i));
+        assert_eq!(serial, parallel, "worker count {workers} reordered results");
+        assert_eq!(report.per_worker_units.iter().sum::<usize>(), 37);
+    }
+}

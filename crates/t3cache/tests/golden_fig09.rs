@@ -1,0 +1,79 @@
+//! Golden regression pinning the Figure 9 scheme-comparison summary
+//! statistics at a fixed seed. The whole stack sits under these numbers —
+//! Monte-Carlo sampling, retention modelling, the cache simulator, the
+//! pipeline model and the campaign merge — so any behavioural drift
+//! anywhere shows up here as more than the 1e-9 tolerance.
+//!
+//! If a deliberate model change moves these values, re-derive them with
+//! `cargo test -p t3cache --test golden_fig09 -- --nocapture` (the test
+//! prints the measured table) and update the constants in the same commit
+//! that changes the model.
+
+use cachesim::Scheme;
+use t3cache::campaign::evaluate_grid_with_workers;
+use t3cache::chip::{ChipGrade, ChipModel, ChipPopulation};
+use t3cache::evaluate::{EvalConfig, Evaluator};
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+use workloads::SpecBenchmark;
+
+const TOLERANCE: f64 = 1e-9;
+
+/// (scheme display name, mean IPC loss across good/median/bad,
+/// mean refresh-event count per chip) at seed 20 244, 32 nm severe,
+/// gzip+mcf quick config.
+const GOLDEN: &[(&str, f64, f64)] = &[
+    ("no-refresh/LRU", 0.040494719017192, 0.0),
+    ("no-refresh/DSP", 0.021183032068239016, 0.0),
+    ("partial-refresh(6000)/LRU", 0.02668728695646431, 4217.666666666667),
+    ("partial-refresh(6000)/DSP", 0.02003646168030382, 2023.6666666666667),
+    ("full-refresh/LRU", 0.013896784691151298, 17527.0),
+    ("full-refresh/DSP", 0.0061313069761094185, 17386.0),
+    ("RSP-FIFO", 0.012679554464636533, 6142.333333333333),
+    ("RSP-LRU", 0.0142063641402748, 9692.0),
+];
+
+#[test]
+fn fig09_summary_stats_are_pinned() {
+    let pop = ChipPopulation::generate(TechNode::N32, VariationCorner::Severe.params(), 8, 20_244);
+    let exemplars: Vec<&ChipModel> = [ChipGrade::Good, ChipGrade::Median, ChipGrade::Bad]
+        .iter()
+        .map(|&g| pop.select(g))
+        .collect();
+    let schemes = Scheme::figure9_schemes();
+    let eval = Evaluator::new(EvalConfig {
+        benchmarks: vec![SpecBenchmark::Gzip, SpecBenchmark::Mcf],
+        ..EvalConfig::quick()
+    });
+    let ideal = eval.run_ideal(4);
+    let grid = evaluate_grid_with_workers(&eval, &exemplars, &schemes, &ideal, 2);
+
+    let mut measured = Vec::new();
+    for (s, scheme) in schemes.iter().enumerate() {
+        let units = grid.per_chip(s);
+        let ipc_loss =
+            units.iter().map(|u| 1.0 - u.perf).sum::<f64>() / units.len() as f64;
+        let refreshes = units
+            .iter()
+            .map(|u| (u.cache.refreshes + u.cache.line_moves) as f64)
+            .sum::<f64>()
+            / units.len() as f64;
+        println!("(\"{scheme}\", {ipc_loss:?}, {refreshes:?}),");
+        measured.push((scheme.to_string(), ipc_loss, refreshes));
+    }
+
+    assert_eq!(measured.len(), GOLDEN.len(), "scheme set changed");
+    for ((name, ipc_loss, refreshes), (g_name, g_ipc, g_ref)) in
+        measured.iter().zip(GOLDEN)
+    {
+        assert_eq!(name, g_name, "scheme order changed");
+        assert!(
+            (ipc_loss - g_ipc).abs() < TOLERANCE,
+            "{name}: IPC-loss mean drifted: measured {ipc_loss:.12}, pinned {g_ipc:.12}"
+        );
+        assert!(
+            (refreshes - g_ref).abs() < TOLERANCE,
+            "{name}: refresh-event mean drifted: measured {refreshes:.12}, pinned {g_ref:.12}"
+        );
+    }
+}

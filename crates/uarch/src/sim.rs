@@ -46,6 +46,15 @@ pub struct SimResult {
     pub replay_flushes: u64,
     /// Data-TLB misses.
     pub dtlb_misses: u64,
+    /// Cycles the dispatch stage was fully blocked (unresolved redirect or
+    /// fetch stall) — the front-end contribution to IPC loss.
+    pub dispatch_blocked_cycles: u64,
+    /// Dispatch groups cut short by a full reorder buffer.
+    pub rob_full_stalls: u64,
+    /// Dispatch groups cut short because both issue queues were full.
+    pub iq_full_stalls: u64,
+    /// Single-cycle dispatch stalls from a full load or store queue.
+    pub lsq_full_stalls: u64,
     /// Histogram of operand value ages at consumption (cycles between the
     /// producer finishing and the consumer issuing), in power-of-two
     /// buckets `[0,2) [2,4) ... [2^14,∞)`. The register-file-retention
@@ -75,6 +84,58 @@ impl SimResult {
             0.0
         } else {
             self.mispredictions as f64 / self.branches as f64
+        }
+    }
+
+    /// Merges another segment's counters into this one (fieldwise sums;
+    /// derived rates like [`SimResult::ipc`] then cover the union).
+    pub fn merge(&mut self, o: &SimResult) {
+        self.instructions += o.instructions;
+        self.cycles += o.cycles;
+        self.branches += o.branches;
+        self.mispredictions += o.mispredictions;
+        self.icache_stall_cycles += o.icache_stall_cycles;
+        self.loads += o.loads;
+        self.stores += o.stores;
+        self.port_retries += o.port_retries;
+        self.replay_flushes += o.replay_flushes;
+        self.dtlb_misses += o.dtlb_misses;
+        self.dispatch_blocked_cycles += o.dispatch_blocked_cycles;
+        self.rob_full_stalls += o.rob_full_stalls;
+        self.iq_full_stalls += o.iq_full_stalls;
+        self.lsq_full_stalls += o.lsq_full_stalls;
+        for (a, b) in self.value_age_hist.iter_mut().zip(o.value_age_hist.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Exports the pipeline counters into a metrics registry under
+    /// `prefix` (e.g. `fig09.scheme.RSP-FIFO.pipe`) — the pipeline layer's
+    /// half of the run-manifest contract.
+    pub fn export(&self, m: &mut obs::MetricsRegistry, prefix: &str) {
+        let c = |m: &mut obs::MetricsRegistry, field: &str, v: u64| {
+            m.set_counter(&format!("{prefix}.{field}"), v);
+        };
+        c(m, "instructions", self.instructions);
+        c(m, "cycles", self.cycles);
+        c(m, "branches", self.branches);
+        c(m, "mispredictions", self.mispredictions);
+        c(m, "icache_stall_cycles", self.icache_stall_cycles);
+        c(m, "loads", self.loads);
+        c(m, "stores", self.stores);
+        c(m, "port_retries", self.port_retries);
+        c(m, "replay_flushes", self.replay_flushes);
+        c(m, "dtlb_misses", self.dtlb_misses);
+        c(m, "dispatch_blocked_cycles", self.dispatch_blocked_cycles);
+        c(m, "rob_full_stalls", self.rob_full_stalls);
+        c(m, "iq_full_stalls", self.iq_full_stalls);
+        c(m, "lsq_full_stalls", self.lsq_full_stalls);
+        m.set_gauge(&format!("{prefix}.ipc"), self.ipc());
+        m.set_gauge(&format!("{prefix}.mispredict_rate"), self.mispredict_rate());
+        // Power-of-two bucket boundaries do not fit FixedHistogram's
+        // uniform buckets; export the raw counts as indexed counters.
+        for (i, &n) in self.value_age_hist.iter().enumerate() {
+            c(m, &format!("value_age_hist.{i:02}"), n);
         }
     }
 }
@@ -219,6 +280,11 @@ impl Pipeline {
             port_retries: self.result.port_retries - start.port_retries,
             replay_flushes: self.result.replay_flushes - start.replay_flushes,
             dtlb_misses: self.result.dtlb_misses - start.dtlb_misses,
+            dispatch_blocked_cycles: self.result.dispatch_blocked_cycles
+                - start.dispatch_blocked_cycles,
+            rob_full_stalls: self.result.rob_full_stalls - start.rob_full_stalls,
+            iq_full_stalls: self.result.iq_full_stalls - start.iq_full_stalls,
+            lsq_full_stalls: self.result.lsq_full_stalls - start.lsq_full_stalls,
             value_age_hist: {
                 let mut h = [0u64; 16];
                 for (i, slot) in h.iter_mut().enumerate() {
@@ -397,6 +463,7 @@ impl Pipeline {
 
     fn dispatch<T: TraceSource + ?Sized>(&mut self, cycle: u64, trace: &mut T) {
         if self.pending_redirect.is_some() || cycle < self.fetch_blocked_until {
+            self.result.dispatch_blocked_cycles += 1;
             return;
         }
 
@@ -423,6 +490,7 @@ impl Pipeline {
 
         for _ in 0..self.cfg.width {
             if self.rob.len() >= self.cfg.rob_entries as usize {
+                self.result.rob_full_stalls += 1;
                 break;
             }
             if self.pending_redirect.is_some() || cycle < self.fetch_blocked_until {
@@ -440,6 +508,7 @@ impl Pipeline {
 
             // Peek capacity for the worst case before consuming the trace.
             if int_iq >= self.cfg.int_iq_entries && fp_iq >= self.cfg.fp_iq_entries {
+                self.result.iq_full_stalls += 1;
                 break;
             }
 
@@ -463,9 +532,11 @@ impl Pipeline {
                 // cycle after placing this load next cycle — simplest is
                 // to block fetch one cycle.
                 self.fetch_blocked_until = cycle + 1;
+                self.result.lsq_full_stalls += 1;
             }
             if instr.op == OpClass::Store && sq >= self.cfg.store_queue {
                 self.fetch_blocked_until = cycle + 1;
+                self.result.lsq_full_stalls += 1;
             }
 
             let seq = self.next_seq;
@@ -760,6 +831,52 @@ mod tests {
         // A 1-cycle producer-consumer chain: ages concentrate in the
         // first bucket.
         assert!(r.value_age_hist[0] + r.value_age_hist[1] > total / 2);
+    }
+
+    #[test]
+    fn stall_counters_populate_and_merge() {
+        // Random branches keep the front-end blocked often; a serial
+        // dependency chain backs the ROB up.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let (r, _) = run_trace(
+            move |_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                Instruction::branch(0x40, state.wrapping_mul(0x2545F4914F6CDD1D) >> 63 == 1)
+            },
+            10_000,
+        );
+        assert!(r.dispatch_blocked_cycles > 0, "{r:?}");
+        let (chain, _) = run_trace(
+            |_| Instruction {
+                op: OpClass::IntMul,
+                pc: 0,
+                src1: Some(1),
+                src2: None,
+                addr: None,
+                branch: None,
+            },
+            20_000,
+        );
+        assert!(chain.rob_full_stalls > 0, "{chain:?}");
+
+        let mut merged = r;
+        merged.merge(&chain);
+        assert_eq!(merged.instructions, 30_000);
+        assert_eq!(
+            merged.dispatch_blocked_cycles,
+            r.dispatch_blocked_cycles + chain.dispatch_blocked_cycles
+        );
+
+        let mut m = obs::MetricsRegistry::new();
+        merged.export(&mut m, "pipe");
+        assert_eq!(m.counter("pipe.instructions"), Some(30_000));
+        assert_eq!(
+            m.counter("pipe.dispatch_blocked_cycles"),
+            Some(merged.dispatch_blocked_cycles)
+        );
+        assert!(m.gauge("pipe.ipc").unwrap() > 0.0);
     }
 
     #[test]

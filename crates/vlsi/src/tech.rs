@@ -168,6 +168,21 @@ impl fmt::Display for TechNode {
     }
 }
 
+impl std::str::FromStr for TechNode {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] form (`"32nm"`), with or without the
+    /// `nm` suffix — run manifests and CLI flags round-trip through this.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().trim_end_matches("nm") {
+            "65" => Ok(TechNode::N65),
+            "45" => Ok(TechNode::N45),
+            "32" => Ok(TechNode::N32),
+            other => Err(format!("unknown tech node {other:?} (expected 65/45/32[nm])")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +195,15 @@ mod tests {
         assert!((TechNode::N32.wire_width().um() - 0.05).abs() < 1e-12);
         assert!((TechNode::N45.wire_thickness().um() - 0.14).abs() < 1e-12);
         assert!((TechNode::N65.oxide_thickness().nm() - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for node in TechNode::ALL {
+            assert_eq!(node.to_string().parse::<TechNode>().unwrap(), node);
+        }
+        assert_eq!("32".parse::<TechNode>().unwrap(), TechNode::N32);
+        assert!("28nm".parse::<TechNode>().is_err());
     }
 
     #[test]

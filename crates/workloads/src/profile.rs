@@ -68,6 +68,21 @@ impl fmt::Display for SpecBenchmark {
     }
 }
 
+impl std::str::FromStr for SpecBenchmark {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] form (`"gzip"`), case-insensitively —
+    /// run manifests and CLI flags round-trip through this.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        SpecBenchmark::ALL
+            .iter()
+            .copied()
+            .find(|b| b.to_string() == lower)
+            .ok_or_else(|| format!("unknown benchmark {s:?}"))
+    }
+}
+
 /// Statistical parameters of one benchmark's instruction stream.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Profile {
@@ -468,6 +483,15 @@ impl ProfileBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn display_round_trips_through_from_str() {
+        for b in SpecBenchmark::ALL {
+            assert_eq!(b.to_string().parse::<SpecBenchmark>().unwrap(), b);
+        }
+        assert_eq!("GZIP".parse::<SpecBenchmark>().unwrap(), SpecBenchmark::Gzip);
+        assert!("bzip2".parse::<SpecBenchmark>().is_err());
+    }
 
     #[test]
     fn all_profiles_are_well_formed() {

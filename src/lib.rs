@@ -20,7 +20,10 @@
 //! * [`workloads`] — calibrated synthetic SPEC2000-like trace generators;
 //! * [`t3cache`] — the paper's evaluation machinery: chip populations,
 //!   scheme evaluation normalized to ideal 6T, the §5 sensitivity sweep,
-//!   and Table 3.
+//!   and Table 3;
+//! * [`obs`] — the zero-dependency observability layer: metrics
+//!   registry, JSON run manifests, and the determinism fingerprint the
+//!   test suite compares across worker counts.
 //!
 //! # Quick start
 //!
@@ -47,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use cachesim;
+pub use obs;
 pub use t3cache;
 pub use uarch;
 pub use vlsi;
@@ -61,6 +65,7 @@ pub mod prelude {
     pub use t3cache::{
         ChipGrade, ChipModel, ChipPopulation, EvalConfig, Evaluator, SensitivitySweep,
     };
+    pub use obs::{MetricsRegistry, RunManifest};
     pub use uarch::{sim::simulate_warmed, Instruction, MachineConfig, TraceSource};
     pub use vlsi::{ChipFactory, TechNode, VariationCorner, VariationParams};
     pub use workloads::{Profile, SpecBenchmark, SyntheticTrace};

@@ -88,6 +88,67 @@ fn infeasible_global_chip_is_rejected_not_mis_simulated() {
 }
 
 #[test]
+fn majority_dead_chip_degrades_gracefully() {
+    // Chips with ever-larger dead-line fractions — past the paper's worst
+    // observed 23 % and beyond 50 % — must keep simulating without panics,
+    // and (because DSP over live ways is per-set LRU, which has the stack
+    // inclusion property) an identical reference stream can only lose
+    // hits as the dead set grows.
+    let g = Geometry::paper_l1d();
+    let mut prev_rate = f64::INFINITY;
+    for dead_lines in [0usize, 256, 512, 640, 768, 920] {
+        let mut rets = vec![1_000_000u64; 1024];
+        for r in rets.iter_mut().take(dead_lines) {
+            *r = 0;
+        }
+        let cfg = CacheConfig::paper(Scheme::partial_refresh_dsp());
+        let mut cache = DataCache::new(cfg, RetentionProfile::PerLine(rets));
+        // A fixed, feedback-free reference stream: identical addresses and
+        // cycles for every dead fraction.
+        let mut hits = 0u64;
+        let mut accesses = 0u64;
+        let mut state = 0x9e37_79b9u64;
+        for i in 0..6_000u64 {
+            state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let set = (state >> 33) as u32 % g.sets();
+            let tag = (state >> 17) % 6;
+            let kind = if state & 1 == 0 {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            };
+            if let Ok(r) = cache.access(10 + i * 3, g.address_of(tag, set), kind) {
+                accesses += 1;
+                hits += r.hit as u64;
+            }
+        }
+        cache.audit().expect("bookkeeping intact under mass death");
+        let rate = hits as f64 / accesses as f64;
+        assert!(
+            rate <= prev_rate,
+            "hit rate rose from {prev_rate:.4} to {rate:.4} at {dead_lines} dead lines"
+        );
+        prev_rate = rate;
+        if dead_lines > 512 {
+            // >50 % dead: the pathological regime the satellite pins down.
+            assert!(rate < 0.5, "majority-dead cache cannot hit most of the time");
+        }
+    }
+
+    // And the full pipeline survives a 60 %-dead chip end to end.
+    let mut rets = vec![1_000_000u64; 1024];
+    for r in rets.iter_mut().take(640) {
+        *r = 0;
+    }
+    let cfg = CacheConfig::paper(Scheme::partial_refresh_dsp());
+    let mut cache = DataCache::new(cfg, RetentionProfile::PerLine(rets));
+    let (r, stats) = run_gzip(&mut cache, 30_000);
+    assert_eq!(r.instructions, 30_000, "program must complete");
+    assert!(r.ipc() > 0.1, "majority-dead chip still makes progress");
+    assert!(stats.all_ways_dead_misses > 0);
+}
+
+#[test]
 fn single_hot_dead_set_costs_are_bounded() {
     // A dead set on the hottest line of a pointer-chase should cost L2
     // latency per access, not a livelock.
