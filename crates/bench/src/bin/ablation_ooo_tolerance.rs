@@ -8,7 +8,7 @@
 //! against its *own* ideal-6T baseline, so the comparison isolates
 //! retention tolerance from raw ILP.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, compare};
 use cachesim::Scheme;
 use t3cache::chip::{ChipGrade, ChipPopulation};
 use t3cache::evaluate::{EvalConfig, Evaluator};
@@ -18,7 +18,7 @@ use vlsi::variation::VariationCorner;
 use workloads::SpecBenchmark;
 
 fn main() {
-    let scale = RunScale::detect();
+    let scale = bench_harness::cli::BenchArgs::parse().scale();
     banner(
         "Ablation: out-of-order tolerance",
         "retention losses on OoO vs in-order issue (severe, 32 nm)",

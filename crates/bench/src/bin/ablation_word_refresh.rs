@@ -5,7 +5,7 @@
 //! sampled chips: refresh power/bandwidth saved by refreshing each 64-bit
 //! word at its own retention, versus the 9× line-counter storage it costs.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, compare};
 use cachesim::CounterSpec;
 use t3cache::wordlevel::{line_level_demand, word_level_demand};
 use vlsi::montecarlo::ChipFactory;
@@ -13,7 +13,7 @@ use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
 fn main() {
-    let scale = RunScale::detect();
+    let scale = bench_harness::cli::BenchArgs::parse().scale();
     banner(
         "Ablation: word-level refresh",
         "refresh demand at line vs word granularity (full refresh)",

@@ -10,7 +10,7 @@
 //! 4. **Replay flush** — how much of the dead-line penalty is pipeline
 //!    recovery rather than raw miss latency (§4.3.2).
 
-use bench_harness::{banner, RunScale};
+use bench_harness::banner;
 use cachesim::{CounterSpec, Scheme};
 use t3cache::chip::{ChipGrade, ChipPopulation};
 use t3cache::evaluate::{EvalConfig, Evaluator};
@@ -20,7 +20,7 @@ use vlsi::variation::VariationCorner;
 use workloads::SpecBenchmark;
 
 fn main() {
-    let scale = RunScale::detect();
+    let scale = bench_harness::cli::BenchArgs::parse().scale();
     banner("Ablations", "design-choice sensitivity studies (severe, 32 nm)");
     let pop = ChipPopulation::generate(
         TechNode::N32,

@@ -13,7 +13,7 @@
 //! varied chips — but every expiry recovery is a cheap read-only L2
 //! re-fetch, and the RSP/DSP machinery carries over unchanged.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, compare};
 use cachesim::{AccessKind, CacheConfig, CounterSpec, DataCache, RetentionProfile, Scheme};
 use t3cache::chip::{ChipGrade, ChipPopulation};
 use uarch::instr::TraceSource;
@@ -49,7 +49,7 @@ fn run_fetch_stream(
 }
 
 fn main() {
-    let scale = RunScale::detect();
+    let scale = bench_harness::cli::BenchArgs::parse().scale();
     banner(
         "Extension: 3T1D instruction cache",
         "fetch streams through retention-aware 64KB L1I (severe, 32 nm)",

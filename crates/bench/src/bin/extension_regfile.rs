@@ -11,7 +11,7 @@
 //! few hundred cycles means a 3T1D register file needs essentially no
 //! refresh at all, even on the worst chips.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, compare};
 use cachesim::DataCache;
 use t3cache::chip::{ChipGrade, ChipPopulation};
 use uarch::sim::simulate_warmed;
@@ -20,7 +20,7 @@ use vlsi::variation::VariationCorner;
 use workloads::{SpecBenchmark, SyntheticTrace};
 
 fn main() {
-    let scale = RunScale::detect();
+    let scale = bench_harness::cli::BenchArgs::parse().scale();
     banner(
         "Extension: 3T1D register files",
         "operand value ages vs retention (Table 2 machine)",

@@ -4,14 +4,15 @@
 //! Paper shape: most references land within the first 6 K cycles of a
 //! line's lifetime (≈90 % on average), with the CDF flattening past ≈10 K.
 
-use bench_harness::{banner, RunRecorder, RunScale};
+use bench_harness::banner;
 use cachesim::DataCache;
 use uarch::sim::simulate_warmed;
 use workloads::{SpecBenchmark, SyntheticTrace};
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig01");
+    let args = bench_harness::cli::BenchArgs::parse();
+    let scale = args.scale();
+    let mut rec = args.recorder("fig01");
     rec.manifest.seed = Some(1);
     banner("Figure 1", "cache reference age CDF (cycles since line load)");
 

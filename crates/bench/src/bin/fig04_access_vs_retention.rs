@@ -5,14 +5,14 @@
 //! the 6T array access time at the cell's *retention time* — ≈5.8–6 µs for
 //! a nominal 32 nm cell, ≈4 µs for a weak cell, longer for a strong cell.
 
-use bench_harness::{banner, RunRecorder};
+use bench_harness::banner;
 use vlsi::cell3t1d::{access_time, retention_time};
 use vlsi::tech::TechNode;
 use vlsi::units::{Time, Voltage};
 use vlsi::variation::DeviceDeviation;
 
 fn main() {
-    let mut rec = RunRecorder::from_args("fig04");
+    let mut rec = bench_harness::cli::BenchArgs::parse().recorder("fig04");
     banner(
         "Figure 4",
         "3T1D access time vs time after write (32 nm)",

@@ -4,7 +4,7 @@
 //! Paper shape: 1X 6T chips lose 10–20 % of frequency; even 2X-sized
 //! cells leave ≈20 % of chips ≈3 % slow.
 
-use bench_harness::{bar, banner, RunRecorder, RunScale};
+use bench_harness::{bar, banner};
 use vlsi::cell6t::CellSize;
 use vlsi::montecarlo::ChipFactory;
 use vlsi::stats::Histogram;
@@ -12,8 +12,9 @@ use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig06a");
+    let args = bench_harness::cli::BenchArgs::parse();
+    let scale = args.scale();
+    let mut rec = args.recorder("fig06a");
     rec.manifest.seed = Some(20_240);
     rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(

@@ -5,7 +5,7 @@
 //! tail past 10×; only ≈11 % of 3T1D chips exceed the golden 6T at all,
 //! and none pass ≈4×.
 
-use bench_harness::{bar, banner, RunRecorder, RunScale};
+use bench_harness::{bar, banner};
 use vlsi::cell6t::CellSize;
 use vlsi::leakage::golden_cache_leakage_6t;
 use vlsi::montecarlo::ChipFactory;
@@ -13,8 +13,9 @@ use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig07");
+    let args = bench_harness::cli::BenchArgs::parse();
+    let scale = args.scale();
+    let mut rec = args.recorder("fig07");
     rec.manifest.seed = Some(20_242);
     rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(

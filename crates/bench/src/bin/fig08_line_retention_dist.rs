@@ -5,7 +5,7 @@
 //! lines on the bad chip, ≈3 % on the median chip; ≈80 % of chips must be
 //! discarded under the global scheme.
 
-use bench_harness::{bar, banner, RunRecorder, RunScale};
+use bench_harness::{bar, banner};
 use cachesim::{CacheConfig, Scheme};
 use t3cache::chip::{ChipGrade, ChipPopulation};
 use vlsi::stats::Histogram;
@@ -13,8 +13,9 @@ use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig08");
+    let args = bench_harness::cli::BenchArgs::parse();
+    let scale = args.scale();
+    let mut rec = args.recorder("fig08");
     rec.manifest.seed = Some(20_243);
     rec.manifest.tech_node = Some(TechNode::N32.to_string());
     banner(

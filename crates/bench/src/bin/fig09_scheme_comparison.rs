@@ -1,98 +1,8 @@
-//! Figure 9: normalized performance of the eight line-level retention
-//! schemes on the good, median and bad chips under severe variation.
-//!
-//! Paper shape: LRU-only schemes suffer most on the bad chip (dead-line
-//! references); partial refresh buys 1–2 % over no-refresh; full refresh
-//! gives some of it back (~1 % blocking penalty); the intrinsic-refresh
-//! RSP schemes perform best.
-
-use bench_harness::{banner, RunRecorder, RunScale};
-use cachesim::Scheme;
-use t3cache::campaign::evaluate_grid;
-use t3cache::chip::{ChipGrade, ChipModel, ChipPopulation};
-use t3cache::evaluate::Evaluator;
-use vlsi::tech::TechNode;
-use vlsi::variation::VariationCorner;
+//! Thin wrapper: Figure 9 scheme comparison. The core logic lives in
+//! [`bench_harness::figures::fig09`] so the `pv3t1d` orchestrator can run
+//! it as a DAG stage; this binary keeps the historical standalone CLI
+//! (`--quick`, `--json <path>`).
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig09");
-    rec.manifest.seed = Some(20_244);
-    rec.manifest.tech_node = Some(TechNode::N32.to_string());
-    banner(
-        "Figure 9",
-        "retention schemes on good/median/bad chips (severe, 32 nm)",
-    );
-    let pop = ChipPopulation::generate(
-        TechNode::N32,
-        VariationCorner::Severe.params(),
-        scale.sim_chips.max(40),
-        20_244,
-    );
-    let eval = Evaluator::new(scale.eval_config(TechNode::N32));
-    let ideal = eval.run_ideal(4);
-
-    let schemes = Scheme::figure9_schemes();
-    // One campaign over the schemes × {good, median, bad} grid.
-    let exemplars: Vec<&ChipModel> = [ChipGrade::Good, ChipGrade::Median, ChipGrade::Bad]
-        .iter()
-        .map(|&g| pop.select(g))
-        .collect();
-    let grid = evaluate_grid(&eval, &exemplars, &schemes, &ideal);
-    let labels: Vec<String> = schemes.iter().map(Scheme::to_string).collect();
-    grid.export(rec.metrics(), &labels);
-    println!("{}", grid.report.banner_line());
-    println!();
-
-    println!("{:<28} {:>8} {:>8} {:>8}", "scheme", "good", "median", "bad");
-    let mut results = Vec::new();
-    for (s, scheme) in schemes.iter().enumerate() {
-        let row = grid.perfs(s);
-        println!(
-            "{:<28} {:>8.3} {:>8.3} {:>8.3}",
-            scheme.to_string(),
-            row[0],
-            row[1],
-            row[2]
-        );
-        for (grade, &perf) in ["good", "median", "bad"].iter().zip(&row) {
-            rec.metrics()
-                .set_gauge(&format!("scheme.{scheme}.perf.{grade}"), perf);
-        }
-        results.push((scheme.to_string(), row));
-    }
-
-    println!();
-    let bad = |name: &str| {
-        results
-            .iter()
-            .find(|(n, _)| n.starts_with(name))
-            .map(|(_, r)| r[2])
-            .expect("scheme present")
-    };
-    rec.compare(
-        "bad chip: DSP gain over plain LRU (no-refresh)",
-        bad("no-refresh/DSP") - bad("no-refresh/LRU"),
-        "large, dead-line avoidance",
-    );
-    rec.compare(
-        "bad chip: RSP-FIFO vs no-refresh/LRU",
-        bad("RSP-FIFO") - bad("no-refresh/LRU"),
-        "RSP best overall",
-    );
-    rec.compare(
-        "median chip: partial vs no refresh (DSP)",
-        results
-            .iter()
-            .find(|(n, _)| n.starts_with("partial-refresh") && n.ends_with("DSP"))
-            .map(|(_, r)| r[1])
-            .unwrap()
-            - results
-                .iter()
-                .find(|(n, _)| n == "no-refresh/DSP")
-                .map(|(_, r)| r[1])
-                .unwrap(),
-        "+0.01..0.02",
-    );
-    rec.finish();
+    bench_harness::cli::figure_main("fig09", bench_harness::figures::fig09::run);
 }

@@ -1,112 +1,8 @@
-//! Figure 11: performance of the three line-level schemes on the
-//! good/median/bad chips across associativities (1/2/4/8-way).
-//!
-//! Paper shape: with ≥2 ways the retention-aware schemes can steer around
-//! dead lines and RSP-FIFO / partial-refresh-DSP clearly beat
-//! no-refresh/LRU on the bad chip; direct-mapped caches get no placement
-//! benefit (only refresh helps).
-//!
-//! The four ideal baselines are computed once (hoisted from the old
-//! per-scheme-per-grade loop, which recomputed each of them nine times)
-//! and the grade × scheme × ways grid runs on the [`t3cache::campaign`]
-//! engine.
-
-use bench_harness::{banner, RunRecorder, RunScale};
-use cachesim::Scheme;
-use t3cache::campaign::{map_indexed, CampaignReport};
-use t3cache::chip::{ChipGrade, ChipModel, ChipPopulation};
-use t3cache::evaluate::Evaluator;
-use vlsi::tech::TechNode;
-use vlsi::variation::VariationCorner;
-
-const WAYS: [u32; 4] = [1, 2, 4, 8];
+//! Thin wrapper: Figure 11 associativity sweep. The core logic lives in
+//! [`bench_harness::figures::fig11`] so the `pv3t1d` orchestrator can run
+//! it as a DAG stage; this binary keeps the historical standalone CLI
+//! (`--quick`, `--json <path>`).
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig11");
-    rec.manifest.seed = Some(20_246);
-    rec.manifest.tech_node = Some(TechNode::N32.to_string());
-    banner(
-        "Figure 11",
-        "schemes vs associativity on good/median/bad chips (severe, 32 nm)",
-    );
-    let pop = ChipPopulation::generate(
-        TechNode::N32,
-        VariationCorner::Severe.params(),
-        scale.sim_chips.max(40),
-        20_246,
-    );
-    let eval = Evaluator::new(scale.eval_config(TechNode::N32));
-    let mut timing = CampaignReport::empty();
-
-    // The four ideal baselines, each computed exactly once.
-    let (ideals, ideal_report) = map_indexed(WAYS.len(), |w| eval.run_ideal(WAYS[w]));
-    timing.absorb(&ideal_report);
-
-    let schemes = [
-        ("no-refresh/LRU", Scheme::no_refresh_lru()),
-        ("partial-refresh/DSP", Scheme::partial_refresh_dsp()),
-        ("RSP-FIFO", Scheme::rsp_fifo()),
-    ];
-    let grades = [ChipGrade::Good, ChipGrade::Median, ChipGrade::Bad];
-    let exemplars: Vec<&ChipModel> = grades.iter().map(|&g| pop.select(g)).collect();
-
-    // One campaign over grade × scheme × ways (row-major).
-    let units = grades.len() * schemes.len() * WAYS.len();
-    let (flat, grid_report) = map_indexed(units, |i| {
-        let g = i / (schemes.len() * WAYS.len());
-        let s = (i / WAYS.len()) % schemes.len();
-        let w = i % WAYS.len();
-        let suite = eval.run_scheme(exemplars[g].retention_profile(), schemes[s].1, WAYS[w]);
-        suite.normalized_performance(&ideals[w], 1.0)
-    });
-    timing.absorb(&grid_report);
-    timing.export(rec.metrics());
-    println!("{}", timing.banner_line());
-
-    let perf = |g: usize, s: usize, w: usize| flat[(g * schemes.len() + s) * WAYS.len() + w];
-    for (g, grade) in grades.iter().enumerate() {
-        for (s, (name, _)) in schemes.iter().enumerate() {
-            for (w, ways) in WAYS.iter().enumerate() {
-                rec.metrics().set_gauge(
-                    &format!("perf.{grade}.{}.{ways}way", bench_harness::metric_slug(name)),
-                    perf(g, s, w),
-                );
-            }
-        }
-    }
-    let mut bad_gap_4way = 0.0;
-    let mut bad_gap_1way = 0.0;
-    for (g, grade) in grades.iter().enumerate() {
-        println!();
-        println!("{} chip:", grade);
-        println!("{:<22} {:>8} {:>8} {:>8} {:>8}", "scheme", "1-way", "2-way", "4-way", "8-way");
-        for (s, (name, _)) in schemes.iter().enumerate() {
-            println!(
-                "{:<22} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-                name,
-                perf(g, s, 0),
-                perf(g, s, 1),
-                perf(g, s, 2),
-                perf(g, s, 3)
-            );
-        }
-        if matches!(grade, ChipGrade::Bad) {
-            bad_gap_4way = perf(g, 2, 2) - perf(g, 0, 2);
-            bad_gap_1way = perf(g, 2, 0) - perf(g, 0, 0);
-        }
-    }
-
-    println!();
-    rec.compare(
-        "bad chip, 4-way: RSP-FIFO advantage over no-refresh/LRU",
-        bad_gap_4way,
-        "significant (placement works)",
-    );
-    rec.compare(
-        "bad chip, 1-way: RSP-FIFO advantage over no-refresh/LRU",
-        bad_gap_1way,
-        "~0 (no placement freedom)",
-    );
-    rec.finish();
+    bench_harness::cli::figure_main("fig11", bench_harness::figures::fig11::run);
 }

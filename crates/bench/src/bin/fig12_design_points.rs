@@ -1,53 +1,8 @@
-//! Figure 12's design-point annotations: where real (node, voltage,
-//! variation) combinations land on the µ–σ/µ retention surface.
-//!
-//! Paper narrative: points 1→2→3 show technology scaling shrinking µ;
-//! point 3 vs 5 shows voltage scaling shrinking it further; point 4 (32 nm
-//! severe) and point 6 (worst case) push σ/µ toward the cliff.
-
-use bench_harness::{banner, RunRecorder, RunScale};
-use t3cache::sensitivity::design_point;
-use vlsi::tech::TechNode;
-use vlsi::units::Voltage;
-use vlsi::variation::VariationCorner;
+//! Thin wrapper: Figure 12 design-point annotations. The core logic
+//! lives in [`bench_harness::figures::fig12`] so the `pv3t1d`
+//! orchestrator can run it as a DAG stage; this binary keeps the
+//! historical standalone CLI (`--quick`, `--json <path>`).
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig12_points");
-    rec.manifest.seed = Some(77);
-    let chips = (scale.mc_chips / 10).max(4);
-    banner(
-        "Figure 12 (annotations)",
-        "real design points on the retention surface",
-    );
-    println!(
-        "{:<6} {:<26} {:>12} {:>8} {:>10}",
-        "point", "design", "mu (cycles)", "s/u", "mu (ns)"
-    );
-    let rows: [(&str, TechNode, VariationCorner, f64); 6] = [
-        ("1", TechNode::N65, VariationCorner::Typical, 1.2),
-        ("2", TechNode::N45, VariationCorner::Typical, 1.1),
-        ("3", TechNode::N32, VariationCorner::Typical, 1.0),
-        ("4", TechNode::N32, VariationCorner::Severe, 1.0),
-        ("5", TechNode::N32, VariationCorner::Typical, 0.9),
-        ("6", TechNode::N32, VariationCorner::Severe, 0.9),
-    ];
-    for (pt, node, corner, vdd) in rows {
-        let (mu, cv) = design_point(node, &corner.params(), Voltage::new(vdd), chips, 77);
-        rec.metrics().set_gauge(&format!("point.{pt}.mu_cycles"), mu as f64);
-        rec.metrics().set_gauge(&format!("point.{pt}.sigma_over_mu"), cv);
-        println!(
-            "{:<6} {:<26} {:>12} {:>7.1}% {:>10.0}",
-            pt,
-            format!("{node} {corner} @{vdd:.1}V"),
-            mu,
-            cv * 100.0,
-            mu as f64 * node.clock_period().ns()
-        );
-    }
-    println!();
-    println!("reading the surface: scaling (1→2→3) and voltage (3→5) shrink µ;");
-    println!("severe variation (4, 6) widens s/u toward the dead-line cliff —");
-    println!("point 6 is the corner the paper warns needs innovation at every layer.");
-    rec.finish();
+    bench_harness::cli::figure_main("fig12_points", bench_harness::figures::fig12::points);
 }

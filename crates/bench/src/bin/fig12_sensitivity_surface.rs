@@ -1,121 +1,8 @@
-//! Figure 12: µ–σ/µ performance surfaces for the three line-level schemes.
-//!
-//! Paper shape: σ/µ matters more than µ (dead lines dominate); a sharp
-//! performance drop appears beyond σ/µ ≈ 25 %; larger µ helps at fixed
-//! σ/µ; the retention-aware schemes dominate no-refresh almost everywhere.
-
-use bench_harness::{banner, metric_slug, RunRecorder, RunScale};
-use cachesim::Scheme;
-use t3cache::campaign::CampaignReport;
-use t3cache::evaluate::Evaluator;
-use t3cache::sensitivity::SensitivitySweep;
-use vlsi::tech::TechNode;
-use workloads::SpecBenchmark;
+//! Thin wrapper: Figure 12 µ–σ/µ sensitivity surface. The core logic
+//! lives in [`bench_harness::figures::fig12`] so the `pv3t1d`
+//! orchestrator can run it as a DAG stage; this binary keeps the
+//! historical standalone CLI (`--quick`, `--json <path>`).
 
 fn main() {
-    let scale = RunScale::detect();
-    let mut rec = RunRecorder::from_args("fig12_surface");
-    rec.manifest.tech_node = Some(TechNode::N32.to_string());
-    banner(
-        "Figure 12",
-        "performance vs retention-time mean and variation (three schemes)",
-    );
-
-    // Use a 4-benchmark subset to keep the 56-point grid tractable; the
-    // subset spans the memory-intensity range.
-    let mut cfg = scale.eval_config(TechNode::N32);
-    cfg.benchmarks = vec![
-        SpecBenchmark::Gzip,
-        SpecBenchmark::Gcc,
-        SpecBenchmark::Mcf,
-        SpecBenchmark::Mesa,
-    ];
-    cfg.instructions = (cfg.instructions / 2).max(20_000);
-    cfg.warmup = (cfg.warmup / 2).max(10_000);
-    let eval = Evaluator::new(cfg);
-    let ideal = eval.run_ideal(4);
-
-    let mut sweep = SensitivitySweep::paper_grid();
-    if scale.sim_chips < 40 {
-        sweep = SensitivitySweep {
-            mus: vec![2_000, 10_000, 18_000, 30_000],
-            ratios: vec![0.05, 0.15, 0.25, 0.35],
-            chips_per_point: 1,
-            ..sweep
-        };
-    }
-
-    let schemes = [
-        ("no-refresh/LRU", Scheme::no_refresh_lru()),
-        ("partial-refresh/DSP (dead-line sensitive)", Scheme::partial_refresh_dsp()),
-        ("RSP-FIFO (retention sensitive)", Scheme::rsp_fifo()),
-    ];
-
-    let mut cliff = (0.0f64, 0.0f64); // no-refresh perf at σ/µ=0.25 vs 0.35, low µ
-    let mut aware_vs_naive = 0.0;
-    let mut timing = CampaignReport::empty();
-    for (si, (name, scheme)) in schemes.iter().enumerate() {
-        println!();
-        println!("{name}:");
-        // Each scheme's µ–σ/µ grid fans out as one campaign of
-        // independent grid-point units.
-        let (pts, report) = sweep.run_timed(&eval, *scheme, &ideal);
-        timing.absorb(&report);
-        let scheme_slug = metric_slug(name);
-        for p in &pts {
-            rec.metrics().set_gauge(
-                &format!(
-                    "surface.{scheme_slug}.mu{}.r{:02.0}",
-                    p.mu_cycles,
-                    p.sigma_over_mu * 100.0
-                ),
-                p.performance,
-            );
-        }
-        print!("{:>10}", "mu\\s/mu");
-        for r in &sweep.ratios {
-            print!("{:>8.0}%", r * 100.0);
-        }
-        println!();
-        for (i, &mu) in sweep.mus.iter().enumerate() {
-            print!("{mu:>10}");
-            for j in 0..sweep.ratios.len() {
-                let p = &pts[i * sweep.ratios.len() + j];
-                print!("{:>9.3}", p.performance);
-            }
-            println!();
-        }
-        // Bookkeeping for the headline comparisons.
-        let find = |mu: u64, ratio: f64| {
-            pts.iter()
-                .find(|p| p.mu_cycles == mu && (p.sigma_over_mu - ratio).abs() < 1e-9)
-                .map(|p| p.performance)
-        };
-        let low_mu = sweep.mus[0];
-        if si == 0 {
-            if let (Some(a), Some(b)) = (find(low_mu, 0.25), find(low_mu, 0.35)) {
-                cliff = (a, b);
-            }
-            aware_vs_naive -= find(low_mu, 0.35).unwrap_or(0.0);
-        }
-        if si == 1 {
-            aware_vs_naive += find(low_mu, 0.35).unwrap_or(0.0);
-        }
-    }
-
-    println!();
-    println!("{}", timing.banner_line());
-    timing.export(rec.metrics());
-    println!();
-    rec.compare(
-        "no-refresh/LRU drop from s/u=25% to 35% (low mu)",
-        cliff.0 - cliff.1,
-        "sudden drop past 25% (Fig. 12, dead lines)",
-    );
-    rec.compare(
-        "retention-aware advantage over no-refresh (35%, low mu)",
-        aware_vs_naive,
-        "positive nearly everywhere",
-    );
-    rec.finish();
+    bench_harness::cli::figure_main("fig12_surface", bench_harness::figures::fig12::surface);
 }

@@ -1,50 +1,9 @@
-//! §2.1 extended: manufacturing yield of an unstable 6T cache under
-//! classical rescue mechanisms (spare lines, SECDED ECC, both), versus the
-//! 3T1D design's architectural tolerance.
-//!
-//! Paper claim quantified: "line-level redundancy is straightforward to
-//! implement, but is ineffective" — at the 32 nm 0.4 % flip rate not even
-//! ECC + spares ships the cache, while every 3T1D chip ships under the
-//! line-level retention schemes.
-
-use bench_harness::{banner, compare};
-use t3cache::rescue::rescue_report;
-use vlsi::tech::TechNode;
-use vlsi::variation::VariationCorner;
+//! Thin wrapper: §2.1 extended rescue-mechanism yield table. The core
+//! logic lives in [`bench_harness::figures::sec21`] so the `pv3t1d`
+//! orchestrator can run it as a DAG stage; this binary keeps the
+//! historical standalone CLI (`--quick`, `--json <path>`) and — new with
+//! the refactor — gains the run manifest its siblings already had.
 
 fn main() {
-    banner(
-        "Section 2.1 (extended)",
-        "6T rescue-mechanism yield vs bit-flip rates",
-    );
-    println!(
-        "{:<8} {:<9} {:>10} {:>10} {:>12} {:>12} {:>14}",
-        "node", "corner", "bit flip", "no rescue", "16 spares", "SECDED/64b", "SECDED+spares"
-    );
-    for node in TechNode::ALL {
-        for corner in [VariationCorner::Typical, VariationCorner::Severe] {
-            let r = rescue_report(node, &corner.params());
-            println!(
-                "{:<8} {:<9} {:>9.4}% {:>9.1}% {:>11.1}% {:>11.1}% {:>13.1}%",
-                node.to_string(),
-                corner.to_string(),
-                r.bit_flip * 100.0,
-                r.yield_none * 100.0,
-                r.yield_spares * 100.0,
-                r.yield_secded * 100.0,
-                r.yield_both * 100.0
-            );
-        }
-    }
-    println!();
-    let r32 = rescue_report(TechNode::N32, &VariationCorner::Typical.params());
-    compare("32nm typical bit-flip rate (%)", r32.bit_flip * 100.0, "~0.4%");
-    compare(
-        "32nm yield with ECC + spares",
-        r32.yield_both,
-        "'ineffective' (~0)",
-    );
-    println!("\n3T1D contrast: stability is not a failure mode; under the line-level");
-    println!("retention schemes of Section 4 every fabricated chip ships (Fig. 10),");
-    println!("with dead lines absorbed by DSP/RSP placement instead of scrapped die.");
+    bench_harness::cli::figure_main("sec21_redundancy", bench_harness::figures::sec21::redundancy);
 }

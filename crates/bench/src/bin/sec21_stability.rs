@@ -1,67 +1,8 @@
-//! §2.1: 6T SRAM read-stability under variation — bit-flip rates and the
-//! line-level redundancy argument.
-//!
-//! Paper anchors: ≈0.4 % bit-flip rate at 32 nm under typical variation,
-//! which makes a 256-bit line fail with probability 1 − 0.996²⁵⁶ ≈ 64 %;
-//! 3T1D cells have no fighting and are stable.
-
-use bench_harness::{banner, RunRecorder};
-use t3cache::campaign::map_indexed;
-use vlsi::cell6t::{bit_flip_probability, line_failure_probability, CellSize};
-use vlsi::tech::TechNode;
-use vlsi::variation::VariationCorner;
+//! Thin wrapper: §2.1 6T stability table. The core logic lives in
+//! [`bench_harness::figures::sec21`] so the `pv3t1d` orchestrator can run
+//! it as a DAG stage; this binary keeps the historical standalone CLI
+//! (`--quick`, `--json <path>`).
 
 fn main() {
-    let mut rec = RunRecorder::from_args("sec21_stability");
-    banner("Section 2.1", "6T cell stability under process variation");
-    // Analytic study, but run through the campaign engine like its sim
-    // siblings: one unit per (node, corner) cell of the table.
-    let corners = [VariationCorner::Typical, VariationCorner::Severe];
-    let units = TechNode::ALL.len() * corners.len();
-    let (rows, report) = map_indexed(units, |i| {
-        let node = TechNode::ALL[i / corners.len()];
-        let corner = corners[i % corners.len()];
-        let p = bit_flip_probability(node, CellSize::X1, &corner.params());
-        (node, corner, p)
-    });
-    report.export(rec.metrics());
-    println!("{}", report.banner_line());
-    println!();
-    println!(
-        "{:<10} {:<10} {:>14} {:>16} {:>16}",
-        "node", "corner", "bit flip", "256b line fail", "512b line fail"
-    );
-    for (node, corner, p) in rows {
-        rec.metrics()
-            .set_gauge(&format!("bit_flip.{node}.{corner}"), p);
-        println!(
-            "{:<10} {:<10} {:>13.4}% {:>15.1}% {:>15.1}%",
-            node.to_string(),
-            corner.to_string(),
-            p * 100.0,
-            line_failure_probability(p, 256) * 100.0,
-            line_failure_probability(p, 512) * 100.0
-        );
-    }
-    println!();
-    let p32 = bit_flip_probability(
-        TechNode::N32,
-        CellSize::X1,
-        &VariationCorner::Typical.params(),
-    );
-    rec.compare("32nm typical bit-flip rate (%)", p32 * 100.0, "~0.4%");
-    rec.compare(
-        "256-bit line failure probability",
-        line_failure_probability(p32, 256),
-        "~0.64",
-    );
-    let p2x = bit_flip_probability(
-        TechNode::N32,
-        CellSize::X2,
-        &VariationCorner::Typical.params(),
-    );
-    rec.compare("32nm 2X-cell bit-flip rate (%)", p2x * 100.0, "far below 1X (area law)");
-    println!("\n3T1D cells have no read-disturb fighting: stability is not a failure mode;");
-    println!("their only 'instability' is finite retention, handled architecturally (Section 4).");
-    rec.finish();
+    bench_harness::cli::figure_main("sec21_stability", bench_harness::figures::sec21::stability);
 }

@@ -5,13 +5,13 @@
 //! at the ≈6000 ns nominal cache retention that is ≈8 % of cache
 //! bandwidth, hidden by port under-utilization for <1 % performance loss.
 
-use bench_harness::{banner, compare, RunScale};
+use bench_harness::{banner, compare};
 use cachesim::{DataCache, RetentionProfile, Scheme};
 use t3cache::evaluate::Evaluator;
 use vlsi::tech::TechNode;
 
 fn main() {
-    let scale = RunScale::detect();
+    let scale = bench_harness::cli::BenchArgs::parse().scale();
     banner("Section 4.1", "global refresh without variation (32 nm)");
     let node = TechNode::N32;
 

@@ -3,13 +3,13 @@
 //! footprint) and on the Table 2 machine with an ideal cache (IPC, miss
 //! rate, mispredicts) — the evidence behind DESIGN.md substitution #2.
 
-use bench_harness::{banner, RunScale};
+use bench_harness::banner;
 use cachesim::DataCache;
 use uarch::sim::simulate_warmed;
 use workloads::{analyze, SpecBenchmark, SyntheticTrace};
 
 fn main() {
-    let scale = RunScale::detect();
+    let scale = bench_harness::cli::BenchArgs::parse().scale();
     banner("Workloads", "synthetic SPEC2000 profile calibration report");
     println!(
         "{:<8} {:>6} {:>6} {:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8}",

@@ -1,0 +1,149 @@
+//! Shared command-line parsing for every figure/table binary.
+//!
+//! Before this module each binary re-read `std::env::args()` on its own
+//! (once for `--quick`, once for `--json`, once more inside the
+//! recorder), so flag handling was copy-pasted and drifted. Now argv is
+//! parsed exactly once into a [`BenchArgs`], and everything downstream —
+//! [`RunScale`], [`RunRecorder`], the [`figure_main`] driver — derives
+//! from that value.
+//!
+//! Flags understood by every binary:
+//!
+//! * `--quick` (or env `PV3T1D_QUICK=1`) — reduced smoke-run scale;
+//! * `--json <path>` / `--json=<path>` — run-manifest destination
+//!   (default `results/<name>.json`).
+//!
+//! Unknown arguments are preserved in [`BenchArgs::extra`] for the few
+//! binaries with positional parameters (e.g. `calib_workloads`).
+
+use crate::{RunRecorder, RunScale};
+use std::path::PathBuf;
+
+/// The parsed command line shared by all bench binaries.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--quick` flag or `PV3T1D_QUICK=1` environment.
+    pub quick: bool,
+    /// `--json <path>` manifest destination, when given.
+    pub json_path: Option<PathBuf>,
+    /// Arguments not consumed by the shared flags, in order.
+    pub extra: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process's argv (plus the `PV3T1D_QUICK` environment
+    /// fallback). The one place in the workspace that reads bench argv.
+    pub fn parse() -> Self {
+        let mut args = Self::parse_from(std::env::args().skip(1));
+        args.quick = args.quick
+            || std::env::var("PV3T1D_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        args
+    }
+
+    /// Parses an explicit argument list (no environment consulted) —
+    /// what tests use.
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            if a == "--quick" {
+                out.quick = true;
+            } else if a == "--json" {
+                out.json_path = args.next().map(PathBuf::from);
+            } else if let Some(p) = a.strip_prefix("--json=") {
+                out.json_path = Some(PathBuf::from(p));
+            } else {
+                out.extra.push(a);
+            }
+        }
+        out
+    }
+
+    /// The run scale these arguments select.
+    pub fn scale(&self) -> RunScale {
+        if self.quick {
+            RunScale::QUICK
+        } else {
+            RunScale::FULL
+        }
+    }
+
+    /// A manifest recorder for `name` honoring `--json` (default
+    /// `results/<name>.json`).
+    pub fn recorder(&self, name: &str) -> RunRecorder {
+        let path = self
+            .json_path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(format!("results/{name}.json")));
+        RunRecorder::new(name, path, self.quick)
+    }
+}
+
+/// The whole `main` of a figure binary whose core logic lives in
+/// [`crate::figures`]: parse argv once, run the stage function at the
+/// selected scale, print its text followed by the campaign banner, fold
+/// its manifest into the recorder (which adds worker/quick/git
+/// provenance plus the fan-out timing), and write the run manifest.
+pub fn figure_main(name: &str, run: impl FnOnce(&RunScale) -> crate::figures::StageOutput) {
+    let args = BenchArgs::parse();
+    let scale = args.scale();
+    let mut rec = args.recorder(name);
+    let stage = run(&scale);
+    print!("{}", stage.text);
+    if stage.timing.units > 0 {
+        println!("{}", stage.timing.banner_line());
+    }
+    rec.manifest.seed = stage.manifest.seed;
+    rec.manifest.tech_node = stage.manifest.tech_node.clone();
+    rec.manifest.scheme = stage.manifest.scheme.clone();
+    rec.manifest.metrics.merge(&stage.manifest.metrics);
+    stage.timing.export(rec.metrics());
+    rec.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> std::vec::IntoIter<String> {
+        args.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_shared_flags_and_keeps_extras() {
+        let a = BenchArgs::parse_from(argv(&["--quick", "300000", "--json", "out.json"]));
+        assert!(a.quick);
+        assert_eq!(a.json_path.as_deref(), Some(std::path::Path::new("out.json")));
+        assert_eq!(a.extra, vec!["300000".to_string()]);
+
+        let b = BenchArgs::parse_from(argv(&["--json=x/y.json"]));
+        assert!(!b.quick);
+        assert_eq!(b.json_path.as_deref(), Some(std::path::Path::new("x/y.json")));
+        assert!(b.extra.is_empty());
+    }
+
+    #[test]
+    fn scale_tracks_quick_flag() {
+        assert_eq!(
+            BenchArgs::parse_from(argv(&["--quick"])).scale().mc_chips,
+            RunScale::QUICK.mc_chips
+        );
+        assert_eq!(
+            BenchArgs::parse_from(argv(&[])).scale().mc_chips,
+            RunScale::FULL.mc_chips
+        );
+    }
+
+    #[test]
+    fn recorder_defaults_to_results_dir() {
+        let a = BenchArgs::parse_from(argv(&[]));
+        let rec = a.recorder("figX");
+        assert_eq!(rec.manifest.name, "figX");
+        assert!(!rec.manifest.quick);
+    }
+}

@@ -1,0 +1,152 @@
+//! The figure/table *stage functions*: the core logic of the headline
+//! experiment binaries, callable as a library.
+//!
+//! Each function here reproduces one figure or table of the paper and
+//! returns a [`StageOutput`] — a deterministic text rendering plus a
+//! [`obs::RunManifest`] of result metrics, with the fan-out timing kept
+//! separately (timing legitimately varies run-to-run and must stay out
+//! of anything an artifact cache hashes). Two callers drive them:
+//!
+//! * the thin binary wrappers in `src/bin/` via
+//!   [`crate::cli::figure_main`], which print the text and write the
+//!   `results/<name>.json` manifest exactly as the historical binaries
+//!   did;
+//! * the `pv3t1d` orchestrator (`crates/orchestrator`), which runs them
+//!   as DAG stages and content-addresses their outputs.
+//!
+//! The split rule: everything **seed-deterministic** goes into
+//! [`StageOutput::text`] / [`StageOutput::manifest`]; everything
+//! **wall-clock** ([`CampaignReport`] banners, speedups) goes into
+//! [`StageOutput::timing`].
+
+pub mod fig06b;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod sec21;
+pub mod table3;
+
+use crate::{compare_line, metric_slug, RunScale};
+use obs::RunManifest;
+use std::fmt::Write as _;
+use t3cache::campaign::CampaignReport;
+
+/// One stage function's complete output.
+#[derive(Debug)]
+pub struct StageOutput {
+    /// Name, seed, tech node, scheme and *result* metrics of the stage.
+    /// Wall clock, worker count and git provenance are stamped by the
+    /// caller (they are run properties, not stage results).
+    pub manifest: RunManifest,
+    /// The deterministic human-readable rendering (figure text).
+    pub text: String,
+    /// Campaign fan-out timing, kept out of `text` and `manifest`.
+    pub timing: CampaignReport,
+}
+
+impl StageOutput {
+    /// An empty output for the named experiment.
+    pub fn new(name: &str) -> Self {
+        Self {
+            manifest: RunManifest::new(name),
+            text: String::new(),
+            timing: CampaignReport::empty(),
+        }
+    }
+
+    /// The stage's result metrics.
+    pub fn metrics(&mut self) -> &mut obs::MetricsRegistry {
+        &mut self.manifest.metrics
+    }
+
+    /// Appends the standard figure banner to the text.
+    pub fn banner(&mut self, id: &str, title: &str) {
+        let rule = "=".repeat(69);
+        let _ = writeln!(self.text, "{rule}\n{id}: {title}\n{rule}");
+    }
+
+    /// Appends a `measured vs paper` line and records the measured value
+    /// as a `compare.<slug>` gauge (same contract as
+    /// [`crate::RunRecorder::compare`]).
+    pub fn compare(&mut self, what: &str, measured: f64, paper: &str) {
+        let line = compare_line(what, measured, paper);
+        let _ = writeln!(self.text, "{line}");
+        self.manifest
+            .metrics
+            .set_gauge(&format!("compare.{}", metric_slug(what)), measured);
+    }
+}
+
+/// Looks up a stage function by its experiment name — the registry the
+/// orchestrator's scenario specs index into.
+pub fn stage_fn(name: &str) -> Option<fn(&RunScale) -> StageOutput> {
+    Some(match name {
+        "fig06b" => fig06b::run,
+        "fig09" => fig09::run,
+        "fig10" => fig10::run,
+        "fig11" => fig11::run,
+        "fig12_points" => fig12::points,
+        "fig12_surface" => fig12::surface,
+        "table3" => table3::run,
+        "sec21_stability" => sec21::stability,
+        "sec21_redundancy" => sec21::redundancy,
+        _ => return None,
+    })
+}
+
+/// Every registered stage-function name, in stable order.
+pub const STAGE_NAMES: [&str; 9] = [
+    "fig06b",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12_points",
+    "fig12_surface",
+    "table3",
+    "sec21_stability",
+    "sec21_redundancy",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_resolves_every_name() {
+        for name in STAGE_NAMES {
+            assert!(stage_fn(name).is_some(), "{name} missing from registry");
+        }
+        assert!(stage_fn("not_a_stage").is_none());
+    }
+
+    #[test]
+    fn stage_output_collects_text_and_compare_gauges() {
+        let mut out = StageOutput::new("unit");
+        out.banner("Figure X", "a title");
+        out.compare("mean IPC loss", 0.25, "~0.3");
+        assert!(out.text.contains("Figure X: a title"));
+        assert!(out.text.contains("measured     0.250"));
+        assert_eq!(
+            out.manifest.metrics.gauge("compare.mean_ipc_loss"),
+            Some(0.25)
+        );
+    }
+
+    /// The cheapest real stages produce deterministic text + fingerprints.
+    #[test]
+    fn analytic_stages_are_deterministic() {
+        for name in ["sec21_stability", "sec21_redundancy", "fig12_points"] {
+            let f = stage_fn(name).unwrap();
+            let a = f(&RunScale::QUICK);
+            let b = f(&RunScale::QUICK);
+            assert_eq!(a.text, b.text, "{name} text must be deterministic");
+            assert_eq!(
+                a.manifest.deterministic_fingerprint(),
+                b.manifest.deterministic_fingerprint(),
+                "{name} fingerprint must be deterministic"
+            );
+            assert!(!a.text.is_empty());
+        }
+    }
+}

@@ -9,6 +9,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod figures;
+
 use obs::RunManifest;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -16,7 +19,7 @@ use t3cache::evaluate::EvalConfig;
 use vlsi::tech::TechNode;
 
 /// Run-size knobs, honoring `--quick` (or `PV3T1D_QUICK=1`) for smoke runs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunScale {
     /// Monte-Carlo chips for distribution figures.
     pub mc_chips: u32,
@@ -29,25 +32,25 @@ pub struct RunScale {
 }
 
 impl RunScale {
-    /// Detects the scale from argv/env.
+    /// The reduced `--quick` smoke-run scale.
+    pub const QUICK: RunScale = RunScale {
+        mc_chips: 40,
+        sim_chips: 10,
+        instructions: 40_000,
+        warmup: 20_000,
+    };
+
+    /// The full paper-reproduction scale.
+    pub const FULL: RunScale = RunScale {
+        mc_chips: 400,
+        sim_chips: 100,
+        instructions: 150_000,
+        warmup: 75_000,
+    };
+
+    /// Detects the scale from argv/env (see [`cli::BenchArgs::parse`]).
     pub fn detect() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var("PV3T1D_QUICK").map(|v| v == "1").unwrap_or(false);
-        if quick {
-            Self {
-                mc_chips: 40,
-                sim_chips: 10,
-                instructions: 40_000,
-                warmup: 20_000,
-            }
-        } else {
-            Self {
-                mc_chips: 400,
-                sim_chips: 100,
-                instructions: 150_000,
-                warmup: 75_000,
-            }
-        }
+        cli::BenchArgs::parse().scale()
     }
 
     /// An evaluation config at this scale for a node.
@@ -79,28 +82,26 @@ pub struct RunRecorder {
 
 impl RunRecorder {
     /// A recorder honoring the binary's `--json <path>` / `--json=<path>`
-    /// argument, defaulting to `results/<name>.json`.
+    /// argument, defaulting to `results/<name>.json` (see
+    /// [`cli::BenchArgs::recorder`]).
     pub fn from_args(name: &str) -> Self {
-        let mut path = None;
-        let mut args = std::env::args().skip(1);
-        while let Some(a) = args.next() {
-            if a == "--json" {
-                path = args.next().map(PathBuf::from);
-            } else if let Some(p) = a.strip_prefix("--json=") {
-                path = Some(PathBuf::from(p));
-            }
-        }
-        let path = path.unwrap_or_else(|| PathBuf::from(format!("results/{name}.json")));
-        Self::with_path(name, path)
+        cli::BenchArgs::parse().recorder(name)
     }
 
     /// A recorder writing to an explicit path (tests use this to bypass
-    /// argument parsing).
+    /// argument parsing); the quick flag is detected from argv/env.
     pub fn with_path(name: &str, path: impl Into<PathBuf>) -> Self {
+        let quick = cli::BenchArgs::parse().quick;
+        Self::new(name, path, quick)
+    }
+
+    /// The fully-explicit constructor: name, manifest path, and quick
+    /// flag all supplied by the caller (argv untouched). Worker count and
+    /// git provenance are still detected.
+    pub fn new(name: &str, path: impl Into<PathBuf>, quick: bool) -> Self {
         let mut manifest = RunManifest::new(name);
         manifest.workers = t3cache::campaign::worker_count() as u64;
-        manifest.quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var("PV3T1D_QUICK").map(|v| v == "1").unwrap_or(false);
+        manifest.quick = quick;
         manifest.git_describe = RunManifest::detect_git_describe();
         Self {
             manifest,
@@ -163,9 +164,14 @@ pub fn banner(id: &str, title: &str) {
     println!("=====================================================================");
 }
 
+/// Formats a `measured vs paper` annotation line.
+pub fn compare_line(what: &str, measured: f64, paper: &str) -> String {
+    format!("  {what:<52} measured {measured:>9.3}   (paper: {paper})")
+}
+
 /// Prints a `measured vs paper` annotation line.
 pub fn compare(what: &str, measured: f64, paper: &str) {
-    println!("  {what:<52} measured {measured:>9.3}   (paper: {paper})");
+    println!("{}", compare_line(what, measured, paper));
 }
 
 /// Renders a unit-scaled ASCII bar.

@@ -322,6 +322,35 @@ impl MetricsRegistry {
         out
     }
 
+    /// A copy of the registry with every timing/scheduling metric (see
+    /// [`MetricsRegistry::is_timing_metric`]) removed. This is the
+    /// *result* view of a run: the part that must be bit-identical
+    /// between two executions of the same seeded experiment, and the
+    /// part content-addressed artifact caches may hash.
+    pub fn without_timing(&self) -> MetricsRegistry {
+        let keep = |name: &&String| !Self::is_timing_metric(name.as_str());
+        MetricsRegistry {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
     /// Merges another registry: counters add, gauges overwrite (last
     /// writer wins), histograms of matching shape add.
     pub fn merge(&mut self, other: &MetricsRegistry) {
@@ -493,6 +522,26 @@ mod tests {
         b.set_gauge("x", 0.3);
         // 0.1 + 0.2 != 0.3 in f64: the fingerprint must see that.
         assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn without_timing_strips_scheduling_but_keeps_results() {
+        let mut m = MetricsRegistry::new();
+        m.inc("cache.hits", 9);
+        m.inc("campaign.units", 12);
+        m.set_gauge("perf", 0.97);
+        m.set_gauge("eval.seconds", 1.25);
+        m.histogram("retention_ns", 0.0, 100.0, 4).record(50.0);
+        m.histogram("campaign.unit_seconds", 0.0, 1.0, 4).record(0.5);
+        let r = m.without_timing();
+        assert_eq!(r.counter("cache.hits"), Some(9));
+        assert_eq!(r.counter("campaign.units"), None);
+        assert_eq!(r.gauge("perf"), Some(0.97));
+        assert_eq!(r.gauge("eval.seconds"), None);
+        assert!(r.get_histogram("retention_ns").is_some());
+        assert!(r.get_histogram("campaign.unit_seconds").is_none());
+        // The filtered registry fingerprints identically to the original.
+        assert_eq!(r.deterministic_fingerprint(), m.deterministic_fingerprint());
     }
 
     #[test]

