@@ -159,6 +159,12 @@ pub struct DataCache {
     cur_cycle: u64,
     loads_now: u8,
     stores_now: u8,
+    /// Cycle of the most recent refresh-engine service, for the
+    /// interarrival histogram (`None` until the first service).
+    last_refresh: Option<u64>,
+    /// Length of the current run of consecutive [`PortBusy`] rejections;
+    /// flushed into the stall-run histogram by the next granted access.
+    stall_run: u64,
     /// Global scheme: paced round-robin refresh state.
     next_global_due: u64,
     global_interval: u64,
@@ -259,6 +265,8 @@ impl DataCache {
             cur_cycle: 0,
             loads_now: 0,
             stores_now: 0,
+            last_refresh: None,
+            stall_run: 0,
             next_global_due,
             global_interval,
             global_window,
@@ -361,6 +369,24 @@ impl DataCache {
         }
     }
 
+    /// Books a refresh-engine service at `at`: records the interarrival
+    /// gap since the previous service.
+    fn note_refresh(&mut self, at: u64) {
+        if let Some(prev) = self.last_refresh {
+            self.stats.record_refresh_gap(at.saturating_sub(prev));
+        }
+        self.last_refresh = Some(at);
+    }
+
+    /// Books the loss of a line to retention at `at` (expiry miss,
+    /// deadline eviction, or refresh overrun): records its age and emits
+    /// the `line.dead` simulator trace event.
+    fn note_dead_line(&mut self, at: u64, filled_at: u64) {
+        let age = at.saturating_sub(filled_at);
+        self.stats.record_dead_age(age);
+        obs::trace::sim_value("cachesim", "line.dead", at, "age_cycles", age as f64);
+    }
+
     /// The sub-array pair a physical line belongs to: lines are laid out
     /// pair-major (256 consecutive rows per pair in the paper layout), so
     /// a set's ways all live in the same pair.
@@ -405,6 +431,8 @@ impl DataCache {
         while cycle >= self.next_global_due {
             let due = self.next_global_due;
             self.next_global_due += self.global_interval;
+            self.note_refresh(due);
+            obs::trace::sim_instant("cachesim", "refresh.issued", due);
             let rows = (self.cfg.geometry.lines() / PAIRS as u32).max(1);
             let row = self.global_rr;
             self.global_rr = (self.global_rr + 1) % rows;
@@ -445,11 +473,14 @@ impl DataCache {
                 .geometry
                 .address_of(line.tag, idx / self.cfg.geometry.ways());
             if self.wb.try_push(due) {
+                let filled_at = line.filled_at;
                 line.valid = false;
                 line.epoch = line.epoch.wrapping_add(1);
                 self.stats.writebacks += 1;
                 self.stats.expiry_writebacks += 1;
                 self.l2.fill_writeback(addr);
+                self.note_dead_line(due, filled_at);
+                obs::trace::sim_value("cachesim", "eviction.retention", due, "line", idx as f64);
             } else {
                 let usable = self.retention.usable_cycles(idx, &self.cfg.counter);
                 line.deadline = due + usable;
@@ -482,6 +513,7 @@ impl DataCache {
                 self.lines[idx as usize].valid = false;
                 self.lines[idx as usize].epoch = line.epoch.wrapping_add(1);
                 self.stats.refresh_overruns += 1;
+                self.note_dead_line(done, line.filled_at);
                 continue;
             }
             let usable = self.retention.usable_cycles(idx, &self.cfg.counter);
@@ -491,6 +523,9 @@ impl DataCache {
             // line refreshes so demand never starves.
             self.refresh_slot = done + REFRESH_DUTY_GAP;
             self.stats.refreshes += 1;
+            self.note_refresh(start);
+            obs::trace::sim_value("cachesim", "refresh.issued", start, "line", idx as f64);
+            obs::trace::sim_instant("cachesim", "refresh.completed", done);
 
             let l = &mut self.lines[idx as usize];
             l.deadline = done + usable;
@@ -558,13 +593,21 @@ impl DataCache {
         match kind {
             AccessKind::Load if self.loads_now >= load_ports => {
                 self.stats.port_conflicts += 1;
+                self.stall_run += 1;
                 return Err(PortBusy);
             }
             AccessKind::Store if self.stores_now >= store_ports => {
                 self.stats.port_conflicts += 1;
+                self.stall_run += 1;
                 return Err(PortBusy);
             }
             _ => {}
+        }
+        // A granted access ends any run of consecutive port stalls.
+        if self.stall_run > 0 {
+            self.stats.record_stall_run(self.stall_run);
+            obs::trace::sim_value("cachesim", "stall.run", cycle, "len", self.stall_run as f64);
+            self.stall_run = 0;
         }
         match kind {
             AccessKind::Load => {
@@ -601,9 +644,11 @@ impl DataCache {
                     // Eager expiry should have drained dirty lines.
                     self.stats.refresh_overruns += 1;
                 }
+                let filled_at = self.lines[idx].filled_at;
                 self.lines[idx].valid = false;
                 self.lines[idx].epoch = self.lines[idx].epoch.wrapping_add(1);
                 self.stats.expiry_misses += 1;
+                self.note_dead_line(cycle, filled_at);
                 let latency = self.do_miss(cycle, set, tag, addr, kind);
                 Ok(AccessResult {
                     hit: false,
@@ -1111,6 +1156,39 @@ mod tests {
         // Next cycle the ports are free again.
         assert!(c.access(6, addr_for(5, 1), AccessKind::Load).is_ok());
         assert_eq!(c.stats().port_conflicts, 2);
+    }
+
+    #[test]
+    fn domain_events_populate_histograms() {
+        // Refresh interarrival: full refresh services the line repeatedly.
+        let mut c = uniform(
+            Scheme::new(RefreshPolicy::Full, ReplacementPolicy::Lru),
+            5_000,
+        );
+        c.access(0, addr_for(4, 3), AccessKind::Load).unwrap();
+        c.advance(50_000);
+        assert!(
+            c.stats().refresh_gap_hist.iter().sum::<u64>() >= 1,
+            "repeated refreshes must record interarrival gaps"
+        );
+
+        // Dead-line age: an expiry miss books the line's age.
+        let mut c = uniform(Scheme::no_refresh_lru(), 5_000);
+        let a = addr_for(9, 2);
+        c.access(0, a, AccessKind::Load).unwrap();
+        c.access(5_000, a, AccessKind::Load).unwrap();
+        assert_eq!(c.stats().dead_age_hist.iter().sum::<u64>(), 1);
+        // Age ≈ 5000 cycles → bucket 4 (1024-cycle buckets).
+        assert_eq!(c.stats().dead_age_hist[4], 1);
+
+        // Stall run: two same-cycle rejections then a granted access.
+        let mut c = DataCache::ideal();
+        c.access(5, addr_for(0, 1), AccessKind::Load).unwrap();
+        c.access(5, addr_for(1, 1), AccessKind::Load).unwrap();
+        assert!(c.access(5, addr_for(2, 1), AccessKind::Load).is_err());
+        assert!(c.access(5, addr_for(3, 1), AccessKind::Load).is_err());
+        c.access(6, addr_for(4, 1), AccessKind::Load).unwrap();
+        assert_eq!(c.stats().stall_run_hist[1], 1, "one run of length 2");
     }
 
     #[test]

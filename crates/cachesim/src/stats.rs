@@ -47,6 +47,22 @@ pub struct CacheStats {
     /// 1024-cycle buckets with the last bucket collecting everything at
     /// ≥ 23 Ki cycles. This is the raw data behind the paper's Fig. 1.
     pub hit_age_hist: [u64; HIT_AGE_BUCKETS],
+    /// Histogram of per-line refresh interarrival gaps (cycles between
+    /// consecutive refresh-engine services anywhere in the cache), in
+    /// 256-cycle buckets. Shows how evenly the refresh scheme spreads
+    /// its work over time.
+    pub refresh_gap_hist: [u64; REFRESH_GAP_BUCKETS],
+    /// Histogram of ages (cycles since fill) at which lines were lost to
+    /// retention — expiry misses, retention-deadline evictions, and
+    /// refresh overruns — in 1024-cycle buckets. The retention-time tail
+    /// behind the paper's dead-line discussion (§3.2).
+    pub dead_age_hist: [u64; DEAD_AGE_BUCKETS],
+    /// Histogram of port-stall run lengths: how many *consecutive*
+    /// accesses were rejected with [`crate::AccessError::PortBusy`]
+    /// before one succeeded. Bucket `i` counts runs of length `i + 1`;
+    /// the last bucket collects longer runs. Long runs are the
+    /// scheme-induced stalls of §4.3.1.
+    pub stall_run_hist: [u64; STALL_RUN_BUCKETS],
 }
 
 /// Number of hit-age histogram buckets (1024-cycle granularity).
@@ -54,6 +70,21 @@ pub const HIT_AGE_BUCKETS: usize = 24;
 
 /// Bucket width of [`CacheStats::hit_age_hist`] in cycles.
 pub const HIT_AGE_BUCKET_CYCLES: u64 = 1024;
+
+/// Number of refresh-interarrival histogram buckets.
+pub const REFRESH_GAP_BUCKETS: usize = 16;
+
+/// Bucket width of [`CacheStats::refresh_gap_hist`] in cycles.
+pub const REFRESH_GAP_BUCKET_CYCLES: u64 = 256;
+
+/// Number of dead-line-age histogram buckets.
+pub const DEAD_AGE_BUCKETS: usize = 16;
+
+/// Bucket width of [`CacheStats::dead_age_hist`] in cycles.
+pub const DEAD_AGE_BUCKET_CYCLES: u64 = 1024;
+
+/// Number of stall-run-length histogram buckets (width 1 access).
+pub const STALL_RUN_BUCKETS: usize = 8;
 
 impl CacheStats {
     /// Total demand accesses.
@@ -93,6 +124,27 @@ impl CacheStats {
     pub fn record_hit_age(&mut self, age: u64) {
         let bucket = ((age / HIT_AGE_BUCKET_CYCLES) as usize).min(HIT_AGE_BUCKETS - 1);
         self.hit_age_hist[bucket] += 1;
+    }
+
+    /// Records the gap (cycles) since the previous refresh service.
+    pub fn record_refresh_gap(&mut self, gap: u64) {
+        let bucket = ((gap / REFRESH_GAP_BUCKET_CYCLES) as usize).min(REFRESH_GAP_BUCKETS - 1);
+        self.refresh_gap_hist[bucket] += 1;
+    }
+
+    /// Records the age (cycles since fill) of a line lost to retention.
+    pub fn record_dead_age(&mut self, age: u64) {
+        let bucket = ((age / DEAD_AGE_BUCKET_CYCLES) as usize).min(DEAD_AGE_BUCKETS - 1);
+        self.dead_age_hist[bucket] += 1;
+    }
+
+    /// Records a completed run of `len` consecutive port-busy rejections.
+    pub fn record_stall_run(&mut self, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let bucket = ((len - 1) as usize).min(STALL_RUN_BUCKETS - 1);
+        self.stall_run_hist[bucket] += 1;
     }
 
     /// Cumulative fraction of hits younger than each bucket boundary —
@@ -139,9 +191,21 @@ impl CacheStats {
             blocked_cycles: self.blocked_cycles - earlier.blocked_cycles,
             refresh_overruns: self.refresh_overruns - earlier.refresh_overruns,
             hit_age_hist: [0; HIT_AGE_BUCKETS],
+            refresh_gap_hist: [0; REFRESH_GAP_BUCKETS],
+            dead_age_hist: [0; DEAD_AGE_BUCKETS],
+            stall_run_hist: [0; STALL_RUN_BUCKETS],
         };
         for i in 0..HIT_AGE_BUCKETS {
             d.hit_age_hist[i] = self.hit_age_hist[i] - earlier.hit_age_hist[i];
+        }
+        for i in 0..REFRESH_GAP_BUCKETS {
+            d.refresh_gap_hist[i] = self.refresh_gap_hist[i] - earlier.refresh_gap_hist[i];
+        }
+        for i in 0..DEAD_AGE_BUCKETS {
+            d.dead_age_hist[i] = self.dead_age_hist[i] - earlier.dead_age_hist[i];
+        }
+        for i in 0..STALL_RUN_BUCKETS {
+            d.stall_run_hist[i] = self.stall_run_hist[i] - earlier.stall_run_hist[i];
         }
         d
     }
@@ -173,26 +237,50 @@ impl CacheStats {
         c(m, "blocked_cycles", self.blocked_cycles);
         c(m, "refresh_overruns", self.refresh_overruns);
         m.set_gauge(&format!("{prefix}.miss_rate"), self.miss_rate());
-        // The Fig. 1 raw data: hit ages in 1024-cycle buckets. The sum is
-        // approximated from bucket centers (the simulator does not keep
-        // exact per-hit ages).
-        let approx_sum: f64 = self
-            .hit_age_hist
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (i as f64 + 0.5) * HIT_AGE_BUCKET_CYCLES as f64 * n as f64)
-            .sum();
-        m.put_histogram(
-            &format!("{prefix}.hit_age_cycles"),
-            obs::FixedHistogram::from_buckets(
-                0.0,
-                (HIT_AGE_BUCKETS as u64 * HIT_AGE_BUCKET_CYCLES) as f64,
-                self.hit_age_hist.to_vec(),
-                0,
-                0,
-                approx_sum,
-            ),
+        // Event histograms as fixed-bucket exports. Sums are approximated
+        // from bucket centers (the simulator keeps only bucket counts).
+        let put = |m: &mut obs::MetricsRegistry, name: &str, buckets: &[u64], width: f64, lo: f64| {
+            let approx_sum: f64 = buckets
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (lo + (i as f64 + 0.5) * width) * n as f64)
+                .sum();
+            m.put_histogram(
+                &format!("{prefix}.{name}"),
+                obs::FixedHistogram::from_buckets(
+                    lo,
+                    lo + buckets.len() as f64 * width,
+                    buckets.to_vec(),
+                    0,
+                    0,
+                    approx_sum,
+                ),
+            );
+        };
+        // The Fig. 1 raw data: hit ages in 1024-cycle buckets.
+        put(
+            m,
+            "hit_age_cycles",
+            &self.hit_age_hist,
+            HIT_AGE_BUCKET_CYCLES as f64,
+            0.0,
         );
+        put(
+            m,
+            "refresh_gap_cycles",
+            &self.refresh_gap_hist,
+            REFRESH_GAP_BUCKET_CYCLES as f64,
+            0.0,
+        );
+        put(
+            m,
+            "dead_age_cycles",
+            &self.dead_age_hist,
+            DEAD_AGE_BUCKET_CYCLES as f64,
+            0.0,
+        );
+        // Stall runs: bucket i holds runs of length i + 1.
+        put(m, "stall_run_len", &self.stall_run_hist, 1.0, 1.0);
     }
 
     /// Merges another run's counters into this one.
@@ -215,6 +303,15 @@ impl CacheStats {
         self.blocked_cycles += o.blocked_cycles;
         self.refresh_overruns += o.refresh_overruns;
         for (a, b) in self.hit_age_hist.iter_mut().zip(o.hit_age_hist.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.refresh_gap_hist.iter_mut().zip(o.refresh_gap_hist.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.dead_age_hist.iter_mut().zip(o.dead_age_hist.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.stall_run_hist.iter_mut().zip(o.stall_run_hist.iter()) {
             *a += b;
         }
     }
@@ -277,6 +374,73 @@ mod tests {
         assert!((cdf[0].1 - 0.5).abs() < 1e-12);
         assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
         assert!(CacheStats::default().hit_age_cdf().is_empty());
+    }
+
+    #[test]
+    fn domain_event_histograms_bucket_and_clamp() {
+        let mut s = CacheStats::default();
+        s.record_refresh_gap(0);
+        s.record_refresh_gap(255);
+        s.record_refresh_gap(256);
+        s.record_refresh_gap(1 << 20); // clamps to the last bucket
+        assert_eq!(s.refresh_gap_hist[0], 2);
+        assert_eq!(s.refresh_gap_hist[1], 1);
+        assert_eq!(s.refresh_gap_hist[REFRESH_GAP_BUCKETS - 1], 1);
+
+        s.record_dead_age(1_023);
+        s.record_dead_age(1_024);
+        s.record_dead_age(u64::MAX);
+        assert_eq!(s.dead_age_hist[0], 1);
+        assert_eq!(s.dead_age_hist[1], 1);
+        assert_eq!(s.dead_age_hist[DEAD_AGE_BUCKETS - 1], 1);
+
+        s.record_stall_run(0); // no-op: a run of zero never happened
+        s.record_stall_run(1);
+        s.record_stall_run(2);
+        s.record_stall_run(100);
+        assert_eq!(s.stall_run_hist[0], 1);
+        assert_eq!(s.stall_run_hist[1], 1);
+        assert_eq!(s.stall_run_hist[STALL_RUN_BUCKETS - 1], 1);
+        assert_eq!(s.stall_run_hist.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn export_includes_domain_event_histograms() {
+        let mut s = CacheStats::default();
+        s.record_refresh_gap(300);
+        s.record_dead_age(2_000);
+        s.record_stall_run(3);
+        let mut m = obs::MetricsRegistry::new();
+        s.export(&mut m, "t.cache");
+        for name in [
+            "t.cache.hit_age_cycles",
+            "t.cache.refresh_gap_cycles",
+            "t.cache.dead_age_cycles",
+            "t.cache.stall_run_len",
+        ] {
+            assert!(m.get_histogram(name).is_some(), "{name} missing");
+        }
+        let runs = m.get_histogram("t.cache.stall_run_len").unwrap();
+        assert_eq!(runs.buckets()[2], 1); // run of length 3
+    }
+
+    #[test]
+    fn merge_and_delta_cover_domain_histograms() {
+        let mut a = CacheStats::default();
+        a.record_refresh_gap(10);
+        a.record_dead_age(10);
+        a.record_stall_run(1);
+        let snap = a;
+        a.record_refresh_gap(10);
+        a.record_stall_run(1);
+        let d = a.delta(&snap);
+        assert_eq!(d.refresh_gap_hist[0], 1);
+        assert_eq!(d.dead_age_hist[0], 0);
+        assert_eq!(d.stall_run_hist[0], 1);
+        let mut b = CacheStats::default();
+        b.merge(&a);
+        assert_eq!(b.refresh_gap_hist, a.refresh_gap_hist);
+        assert_eq!(b.stall_run_hist, a.stall_run_hist);
     }
 
     #[test]

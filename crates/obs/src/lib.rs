@@ -14,7 +14,11 @@
 //!   finite floats);
 //! * [`RunManifest`] — the JSON *run manifest* each `fig*`/`table3`
 //!   binary emits (`--json <path>`): metrics + seed, tech node, scheme,
-//!   worker count, wall clock, and `git describe` provenance.
+//!   worker count, wall clock, and `git describe` provenance;
+//! * [`trace`] — a process-global hierarchical span tracer (thread-aware
+//!   spans, instants, counters, and cycle-stamped simulator events) with
+//!   a ring buffer and Chrome trace-event JSON export, near-zero cost
+//!   while disabled.
 //!
 //! # Determinism contract
 //!
@@ -52,6 +56,7 @@
 pub mod json;
 pub mod manifest;
 pub mod registry;
+pub mod trace;
 
 pub use json::{Json, JsonError};
 pub use manifest::{RunManifest, SCHEMA_VERSION};

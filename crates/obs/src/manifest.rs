@@ -254,6 +254,24 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_sees_histogram_under_and_overflow() {
+        // Manifest-level regression pin for the registry property: runs
+        // that differ only in a histogram's overflow (or underflow) count
+        // must not fingerprint identically.
+        let make = |under: u64, over: u64| {
+            let mut m = RunManifest::new("pin");
+            m.metrics.put_histogram(
+                "events.dist",
+                crate::FixedHistogram::from_buckets(0.0, 8.0, vec![1, 2, 3, 4], under, over, 10.0),
+            );
+            m
+        };
+        let base = make(0, 0).deterministic_fingerprint();
+        assert_ne!(base, make(0, 7).deterministic_fingerprint());
+        assert_ne!(base, make(7, 0).deterministic_fingerprint());
+    }
+
+    #[test]
     fn git_describe_detection_never_panics() {
         // May be Some or None depending on the environment; must not panic.
         let _ = RunManifest::detect_git_describe();

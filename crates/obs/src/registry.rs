@@ -20,6 +20,12 @@ use std::time::Duration;
 pub struct FixedHistogram {
     lo: f64,
     hi: f64,
+    /// Reciprocal of the bucket width, precomputed at construction so
+    /// [`FixedHistogram::record`] bucketizes with one multiply instead of
+    /// re-deriving the (rounded) width per call. Derived from
+    /// `lo`/`hi`/`buckets.len()`, so equal shapes always carry equal
+    /// values and JSON round-trips reconstruct it exactly.
+    inv_width: f64,
     buckets: Vec<u64>,
     underflow: u64,
     overflow: u64,
@@ -39,6 +45,7 @@ impl FixedHistogram {
         Self {
             lo,
             hi,
+            inv_width: n as f64 / (hi - lo),
             buckets: vec![0; n],
             underflow: 0,
             overflow: 0,
@@ -63,6 +70,7 @@ impl FixedHistogram {
         Self {
             lo,
             hi,
+            inv_width: buckets.len() as f64 / (hi - lo),
             buckets,
             underflow,
             overflow,
@@ -71,7 +79,10 @@ impl FixedHistogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. In-range values bucketize with the
+    /// precomputed reciprocal width — `(value - lo) * inv_width`, clamped
+    /// to the last bucket — so every call uses the identical rounding and
+    /// exactly-representable bucket boundaries land in the upper bucket.
     pub fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
@@ -80,8 +91,7 @@ impl FixedHistogram {
         } else if value >= self.hi {
             self.overflow += 1;
         } else {
-            let width = (self.hi - self.lo) / self.buckets.len() as f64;
-            let i = (((value - self.lo) / width) as usize).min(self.buckets.len() - 1);
+            let i = (((value - self.lo) * self.inv_width) as usize).min(self.buckets.len() - 1);
             self.buckets[i] += 1;
         }
     }
@@ -163,10 +173,12 @@ impl FixedHistogram {
         let lo = v.get("lo")?.as_f64()?;
         let hi = v.get("hi")?.as_f64()?;
         let buckets: Option<Vec<u64>> = v.get("buckets")?.as_arr()?.iter().map(Json::as_u64).collect();
+        let buckets = buckets?;
         let mut h = Self {
             lo,
             hi,
-            buckets: buckets?,
+            inv_width: buckets.len() as f64 / (hi - lo),
+            buckets,
             underflow: v.get("underflow")?.as_u64()?,
             overflow: v.get("overflow")?.as_u64()?,
             count: v.get("count")?.as_u64()?,
@@ -452,6 +464,75 @@ mod tests {
         assert_eq!(h.overflow(), 2);
         assert_eq!(h.count(), 7);
         assert!((h.mean() - (h.sum() / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_boundary_values_land_in_the_upper_bucket() {
+        // Exactly-representable boundaries: [0, 16) in 8 width-2 buckets.
+        let mut h = FixedHistogram::new(0.0, 16.0, 8);
+        for b in 0..8u64 {
+            h.record(2.0 * b as f64); // each boundary opens its own bucket
+        }
+        assert_eq!(h.buckets(), &[1; 8]);
+        assert_eq!((h.underflow(), h.overflow()), (0, 0));
+
+        // Values one ulp below a boundary stay in the lower bucket.
+        let mut h = FixedHistogram::new(0.0, 16.0, 8);
+        h.record(2.0_f64.next_down());
+        h.record(16.0_f64.next_down()); // just under hi: last bucket, not overflow
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[7], 1);
+        assert_eq!(h.overflow(), 0);
+
+        // Non-representable widths: the precomputed reciprocal gives the
+        // same answer as the reference computation for every recorded
+        // value, including the awkward near-boundary ones.
+        let (lo, hi, n) = (0.0, 0.7, 7usize);
+        let mut h = FixedHistogram::new(lo, hi, n);
+        let reference = |v: f64| -> usize {
+            (((v - lo) * (n as f64 / (hi - lo))) as usize).min(n - 1)
+        };
+        let mut expected = vec![0u64; n];
+        for k in 0..70 {
+            let v = k as f64 * 0.01;
+            h.record(v);
+            expected[reference(v)] += 1;
+        }
+        assert_eq!(h.buckets(), &expected[..]);
+    }
+
+    #[test]
+    fn histogram_bucketing_survives_json_round_trip() {
+        // The reconstructed histogram must bucketize identically to the
+        // original (the reciprocal width is re-derived, not serialized).
+        let mut a = FixedHistogram::new(0.0, 0.3, 3);
+        let mut b = FixedHistogram::from_json(&a.to_json()).unwrap();
+        for k in 0..30 {
+            let v = k as f64 * 0.01;
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_covers_histogram_under_and_overflow() {
+        // Regression pin: two registries whose histograms agree on every
+        // bucket but differ only in underflow or overflow must fingerprint
+        // differently (over/underflow are results, not timing).
+        let base = FixedHistogram::from_buckets(0.0, 4.0, vec![5, 5, 5, 5], 0, 0, 40.0);
+        let more_over = FixedHistogram::from_buckets(0.0, 4.0, vec![5, 5, 5, 5], 0, 3, 40.0);
+        let more_under = FixedHistogram::from_buckets(0.0, 4.0, vec![5, 5, 5, 5], 3, 0, 40.0);
+
+        let mut a = MetricsRegistry::new();
+        a.put_histogram("h", base.clone());
+        let mut b = MetricsRegistry::new();
+        b.put_histogram("h", more_over);
+        let mut c = MetricsRegistry::new();
+        c.put_histogram("h", more_under);
+        assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
+        assert_ne!(a.deterministic_fingerprint(), c.deterministic_fingerprint());
+        assert_ne!(b.deterministic_fingerprint(), c.deterministic_fingerprint());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Chrome trace-event export contract: a golden shape test pinning the
+//! exported document structure, and property tests that *no* sequence of
+//! span operations — balanced, over-popped, or ring-evicted — can make
+//! the export unbalanced. Perfetto refuses malformed traces, so these
+//! are load-bearing for the `pv3t1d run --trace` pipeline.
+
+use obs::{trace, Json};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// The tracer is process-global; every test in this binary serializes on
+/// this lock so captures never interleave.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Reduces an exported document to its structural skeleton:
+/// `ph cat name [args-keys]` per event, timestamps and thread ids
+/// elided (they are wall-clock dependent).
+fn skeleton(doc: &Json) -> Vec<String> {
+    doc.get("traceEvents")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|e| {
+            let ph = e.get("ph").and_then(Json::as_str).unwrap_or("?");
+            let cat = e.get("cat").and_then(Json::as_str).unwrap_or("-");
+            let name = e.get("name").and_then(Json::as_str).unwrap_or("-");
+            let args = e
+                .get("args")
+                .and_then(Json::as_obj)
+                .map(|o| o.keys().cloned().collect::<Vec<_>>().join(","))
+                .unwrap_or_default();
+            if args.is_empty() {
+                format!("{ph} {cat} {name}")
+            } else {
+                format!("{ph} {cat} {name} [{args}]")
+            }
+        })
+        .collect()
+}
+
+/// Walks the exported events asserting every one carries the required
+/// Chrome trace fields, and that B/E pairs balance per (pid, tid) track.
+fn assert_well_formed(doc: &Json) {
+    use std::collections::BTreeMap;
+    let events = doc.get("traceEvents").expect("traceEvents").as_arr().unwrap();
+    let mut depth: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+    for ev in events {
+        let pid = ev.get("pid").and_then(Json::as_u64).expect("pid on every event");
+        let tid = ev.get("tid").and_then(Json::as_u64).expect("tid on every event");
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph on every event");
+        assert!(ev.get("ts").and_then(Json::as_f64).is_some(), "ts on every event");
+        match ph {
+            "B" => *depth.entry((pid, tid)).or_insert(0) += 1,
+            "E" => {
+                let d = depth.entry((pid, tid)).or_insert(0);
+                *d -= 1;
+                assert!(*d >= 0, "E without a matching B on ({pid},{tid})");
+            }
+            "i" | "C" | "M" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for ((pid, tid), d) in depth {
+        assert_eq!(d, 0, "unclosed span on ({pid},{tid})");
+    }
+}
+
+/// Golden shape test: a fixed instrumentation sequence must export this
+/// exact event skeleton (metadata, nested balanced spans, instants with
+/// thread scope, counters with args, sim events on the cycle clock).
+#[test]
+fn golden_trace_document_shape() {
+    let _g = lock();
+    trace::enable(4096);
+    {
+        let _run = trace::span("orchestrator", "run_scenario");
+        trace::instant("orchestrator", "cas.miss:chips");
+        {
+            let _stage = trace::span("orchestrator", "stage:chips");
+            trace::counter("campaign.inflight", 2.0);
+            trace::sim_instant("cachesim", "refresh.issued", 4096);
+            trace::sim_value("cachesim", "line.dead", 5120, "age_cycles", 1024.0);
+        }
+        trace::instant("orchestrator", "cas.hit:report");
+    }
+    trace::disable();
+    let doc = trace::export();
+    trace::clear();
+
+    assert_well_formed(&doc);
+    let golden = [
+        "M - process_name [name]",
+        "M - process_name [name]",
+        "B orchestrator run_scenario",
+        "i orchestrator cas.miss:chips",
+        "B orchestrator stage:chips",
+        "C counter campaign.inflight [value]",
+        "i cachesim refresh.issued",
+        "i cachesim line.dead [age_cycles]",
+        "E orchestrator stage:chips",
+        "i orchestrator cas.hit:report",
+        "E orchestrator run_scenario",
+    ];
+    assert_eq!(skeleton(&doc), golden, "trace export shape drifted");
+
+    // The document itself round-trips through the JSON parser (what
+    // `pv3t1d ls --traces` and `report` rely on).
+    let back = Json::parse(&doc.render()).expect("exported trace parses");
+    assert_eq!(trace::summarize(&back), trace::summarize(&doc));
+    let s = trace::summarize(&doc).unwrap();
+    assert_eq!(s.spans, 2);
+    assert_eq!(s.instants, 4);
+    assert_eq!(s.counters, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary enter/exit/instant sequences under arbitrary (small)
+    /// ring capacities never export an unbalanced document: orphaned
+    /// ends are dropped, evicted begins repaired, open begins closed.
+    #[test]
+    fn arbitrary_span_sequences_export_balanced(
+        ops in proptest::collection::vec(0u8..3, 0..80),
+        cap in 1usize..24,
+    ) {
+        let _g = lock();
+        trace::enable(cap);
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                0 => trace::span_enter("prop", &format!("s{i}")),
+                1 => trace::span_exit(),
+                _ => trace::instant("prop", "tick"),
+            }
+        }
+        trace::disable();
+        let doc = trace::export();
+        trace::clear();
+        assert_well_formed(&doc);
+    }
+}

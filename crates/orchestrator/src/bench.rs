@@ -1,0 +1,466 @@
+//! The `pv3t1d bench` micro-benchmark suite: a pinned set of throughput
+//! probes over the workspace's hot paths, written as schema-versioned
+//! `BENCH_<label>.json` baselines and diffed by [`compare`].
+//!
+//! The suite measures, at minimum:
+//!
+//! * `campaign.chips_per_s.w1` / `.wn` — Monte-Carlo campaign throughput
+//!   at one worker and at the machine's worker count (plus the derived
+//!   `campaign.speedup`);
+//! * `cachesim.accesses_per_s` — raw [`cachesim::DataCache`] demand-access
+//!   throughput under a retention scheme;
+//! * `uarch.sim_cycles_per_s` — cycle-level pipeline simulation speed;
+//! * `orchestrator.warm_run_seconds` — end-to-end latency of a fully
+//!   cached scenario run (the `--expect-cached` fast path);
+//! * `trace.disabled_ns_per_call` — cost of one disabled tracer call,
+//!   asserted to stay in the "no measurable overhead" regime.
+//!
+//! Regression policy lives in metric names: `*_per_s` and `*.speedup`
+//! are higher-is-better, `*_seconds` and `*_ns_per_call` lower-is-better;
+//! anything else is informational. [`compare`] applies a noise threshold
+//! (percent) and reports regressions for the CLI to exit non-zero on.
+
+use crate::spec::{Scenario, StageSpec};
+use crate::sched::{run_scenario, RunOptions};
+use bench_harness::RunScale;
+use cachesim::{AccessKind, CacheConfig, DataCache, RetentionProfile, Scheme};
+use obs::{Json, JsonError};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+use t3cache::campaign::evaluate_grid_with_workers;
+use t3cache::chip::{ChipModel, ChipPopulation};
+use t3cache::evaluate::{EvalConfig, Evaluator};
+use vlsi::tech::TechNode;
+use vlsi::variation::VariationCorner;
+use workloads::{RecordedTrace, SpecBenchmark};
+
+/// Bench report schema version, bumped on breaking layout changes.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// Generous ceiling on one disabled tracer call: the fast path is a
+/// single relaxed atomic load, so even a slow CI container sits orders
+/// of magnitude below this. Breaching it means the disabled path grew
+/// real work, which is exactly the regression the bound exists to catch.
+pub const DISABLED_TRACE_NS_CEILING: f64 = 250.0;
+
+/// One benchmark baseline: a named, schema-versioned set of metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Baseline label (`seed`, `ci`, a branch name, …).
+    pub label: String,
+    /// Whether the suite ran at the reduced `--quick` sizes.
+    pub quick: bool,
+    /// Metric name → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl BenchReport {
+    /// An empty report.
+    pub fn new(label: &str, quick: bool) -> Self {
+        Self {
+            label: label.to_string(),
+            quick,
+            metrics: BTreeMap::new(),
+        }
+    }
+
+    /// Serializes to pretty-printed JSON (ends with a newline).
+    pub fn to_json(&self) -> String {
+        let mut metrics = Json::object();
+        for (k, v) in &self.metrics {
+            metrics.insert(k, Json::Num(*v));
+        }
+        let mut o = Json::object();
+        o.insert("schema", Json::Num(BENCH_SCHEMA as f64));
+        o.insert("label", Json::Str(self.label.clone()));
+        o.insert("quick", Json::Bool(self.quick));
+        o.insert("metrics", metrics);
+        o.render_pretty()
+    }
+
+    /// Parses a report produced by [`BenchReport::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let v = Json::parse(text)?;
+        let bad = |msg: &str| JsonError {
+            at: 0,
+            msg: msg.to_string(),
+        };
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing schema"))?;
+        if schema != BENCH_SCHEMA {
+            return Err(bad(&format!(
+                "unsupported bench schema {schema} (expected {BENCH_SCHEMA})"
+            )));
+        }
+        let mut metrics = BTreeMap::new();
+        for (k, val) in v
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| bad("missing metrics object"))?
+        {
+            metrics.insert(
+                k.clone(),
+                val.as_f64().ok_or_else(|| bad("non-numeric metric"))?,
+            );
+        }
+        Ok(Self {
+            label: v
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("missing label"))?
+                .to_string(),
+            quick: v
+                .get("quick")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| bad("missing quick"))?,
+            metrics,
+        })
+    }
+
+    /// Writes the report to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a report file.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// How a metric's value relates to "better".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-style: a drop is a regression.
+    HigherIsBetter,
+    /// Latency-style: a rise is a regression.
+    LowerIsBetter,
+    /// Context only — never a regression.
+    Informational,
+}
+
+/// Classifies a metric by naming convention (see the module docs).
+/// `_per_s` may be followed by a variant tag (`campaign.chips_per_s.w1`).
+pub fn direction_of(name: &str) -> Direction {
+    if name.ends_with("_per_s") || name.contains("_per_s.") || name.ends_with(".speedup") {
+        Direction::HigherIsBetter
+    } else if name.ends_with("_seconds") || name.ends_with("_ns_per_call") {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One metric's verdict in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareLine {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value, when the baseline has the metric.
+    pub base: Option<f64>,
+    /// Current value.
+    pub current: f64,
+    /// Percent change vs the baseline (positive = larger value).
+    pub delta_pct: Option<f64>,
+    /// Whether this line is a regression beyond the threshold.
+    pub regressed: bool,
+}
+
+/// Diffs `current` against `base` with a `threshold_pct` noise band.
+/// Returns the per-metric lines (sorted by name) and whether any
+/// non-informational metric regressed beyond the threshold. Metrics
+/// missing from the baseline are informational; metrics missing from the
+/// current run are ignored (the baseline may be from a richer suite).
+pub fn compare(base: &BenchReport, current: &BenchReport, threshold_pct: f64) -> (Vec<CompareLine>, bool) {
+    let mut lines = Vec::new();
+    let mut any_regressed = false;
+    for (name, &cur) in &current.metrics {
+        let line = match base.metrics.get(name) {
+            Some(&b) if b != 0.0 => {
+                let delta_pct = (cur - b) / b * 100.0;
+                let regressed = match direction_of(name) {
+                    Direction::HigherIsBetter => delta_pct < -threshold_pct,
+                    Direction::LowerIsBetter => delta_pct > threshold_pct,
+                    Direction::Informational => false,
+                };
+                CompareLine {
+                    name: name.clone(),
+                    base: Some(b),
+                    current: cur,
+                    delta_pct: Some(delta_pct),
+                    regressed,
+                }
+            }
+            other => CompareLine {
+                name: name.clone(),
+                base: other.copied(),
+                current: cur,
+                delta_pct: None,
+                regressed: false,
+            },
+        };
+        any_regressed |= line.regressed;
+        lines.push(line);
+    }
+    (lines, any_regressed)
+}
+
+/// Sizing knobs of one suite invocation.
+#[derive(Debug, Clone, Copy)]
+struct Sizes {
+    chips: u32,
+    instructions: u64,
+    warmup: u64,
+    cache_accesses: u64,
+    uarch_instructions: u64,
+    trace_calls: u64,
+}
+
+impl Sizes {
+    fn for_quick(quick: bool) -> Self {
+        if quick {
+            Self {
+                chips: 4,
+                instructions: 20_000,
+                warmup: 5_000,
+                cache_accesses: 200_000,
+                uarch_instructions: 60_000,
+                trace_calls: 2_000_000,
+            }
+        } else {
+            Self {
+                chips: 16,
+                instructions: 50_000,
+                warmup: 25_000,
+                cache_accesses: 1_000_000,
+                uarch_instructions: 300_000,
+                trace_calls: 10_000_000,
+            }
+        }
+    }
+}
+
+/// Runs the pinned suite and returns the report. `workers` sizes the
+/// parallel campaign probe (pass the machine's campaign worker count).
+///
+/// # Panics
+///
+/// Panics if the disabled tracer's per-call cost exceeds
+/// [`DISABLED_TRACE_NS_CEILING`] — the "near-zero overhead when
+/// disabled" contract is load-bearing for instrumented simulator paths.
+pub fn run_suite(label: &str, quick: bool, workers: usize, verbose: bool) -> BenchReport {
+    let sizes = Sizes::for_quick(quick);
+    let workers = workers.max(2);
+    let mut report = BenchReport::new(label, quick);
+    let mut note = |name: &str, value: f64| {
+        if verbose {
+            println!("{name:<36} {value:.4}");
+        }
+        report.metrics.insert(name.to_string(), value);
+    };
+
+    // --- disabled-tracer overhead -----------------------------------
+    assert!(!obs::trace::is_enabled(), "bench requires the tracer off");
+    let t0 = Instant::now();
+    for i in 0..sizes.trace_calls {
+        obs::trace::sim_instant("bench", "probe", i);
+    }
+    let ns_per_call = t0.elapsed().as_nanos() as f64 / sizes.trace_calls as f64;
+    assert!(
+        ns_per_call < DISABLED_TRACE_NS_CEILING,
+        "disabled tracer costs {ns_per_call:.1} ns/call \
+         (ceiling {DISABLED_TRACE_NS_CEILING} ns): the disabled fast path regressed"
+    );
+    note("trace.disabled_ns_per_call", ns_per_call);
+
+    // --- campaign throughput, 1 worker vs N -------------------------
+    let pop = ChipPopulation::generate(
+        TechNode::N32,
+        VariationCorner::Typical.params(),
+        sizes.chips,
+        9_001,
+    );
+    let chips: Vec<&ChipModel> = pop.chips().iter().collect();
+    let schemes = [Scheme::no_refresh_lru(), Scheme::rsp_fifo()];
+    let eval = Evaluator::new(EvalConfig {
+        benchmarks: vec![SpecBenchmark::Gzip],
+        instructions: sizes.instructions,
+        warmup: sizes.warmup,
+        ..EvalConfig::quick()
+    });
+    eval.warm_traces();
+    let ideal = eval.run_ideal(4);
+    let mut chips_per_s = [0.0f64; 2];
+    for (slot, w) in [(0, 1usize), (1, workers)] {
+        let t0 = Instant::now();
+        let _ = evaluate_grid_with_workers(&eval, &chips, &schemes, &ideal, w);
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        chips_per_s[slot] = (sizes.chips as f64 * schemes.len() as f64) / dt;
+    }
+    note("campaign.chips_per_s.w1", chips_per_s[0]);
+    note("campaign.chips_per_s.wn", chips_per_s[1]);
+    note("campaign.speedup", chips_per_s[1] / chips_per_s[0].max(1e-12));
+    note("campaign.workers", workers as f64);
+
+    // --- raw cache demand-access throughput -------------------------
+    let mut cache = DataCache::new(
+        CacheConfig::paper(Scheme::partial_refresh_dsp()),
+        RetentionProfile::PerLine((0..1024).map(|i| 20_000 + (i % 7) * 3_000).collect()),
+    );
+    let mut x = 0x2545F4914F6CDD1Du64;
+    let t0 = Instant::now();
+    for n in 0..sizes.cache_accesses {
+        // xorshift addresses; one store every 4th access.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let kind = if n % 4 == 3 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let _ = cache.access(n * 2, x & 0xFFFF_FFC0, kind);
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    note(
+        "cachesim.accesses_per_s",
+        sizes.cache_accesses as f64 / dt,
+    );
+
+    // --- cycle-level pipeline simulation speed ----------------------
+    let recorded = RecordedTrace::record(
+        SpecBenchmark::Gzip.profile(),
+        9_002,
+        sizes.uarch_instructions + 4_096,
+    );
+    let mut replay = recorded.replay();
+    let mut cache = DataCache::ideal();
+    let t0 = Instant::now();
+    let sim = uarch::simulate(
+        &mut replay,
+        &mut cache,
+        sizes.uarch_instructions,
+        0.005,
+    );
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    note("uarch.sim_cycles_per_s", sim.cycles as f64 / dt);
+
+    // --- warm-cache orchestrator latency ----------------------------
+    let dir = std::env::temp_dir().join(format!("pv3t1d_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sc = bench_scenario();
+    let opts = RunOptions {
+        jobs: 2,
+        results_dir: dir.clone(),
+        use_cache: true,
+        scale_override: Some(RunScale::QUICK),
+        verbose: false,
+    };
+    let cold = run_scenario(&sc, &opts).expect("bench scenario is valid");
+    assert!(cold.ok(), "bench scenario must run cleanly");
+    let t0 = Instant::now();
+    let warm = run_scenario(&sc, &opts).expect("bench scenario is valid");
+    let warm_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(warm.executed, 0, "second run must be fully cached");
+    note("orchestrator.warm_run_seconds", warm_seconds);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    report
+}
+
+/// The hermetic scenario behind `orchestrator.warm_run_seconds`: a tiny
+/// chip campaign feeding a retention map and a report, built inline so
+/// `pv3t1d bench` needs no scenario file on disk.
+fn bench_scenario() -> Scenario {
+    let mut sc = Scenario::new("bench_warm", RunScale::QUICK);
+    sc.stages = vec![
+        StageSpec::new("chips", "chip_campaign")
+            .with_param("chips", Json::Num(2.0))
+            .with_param("corner", Json::Str("typical".into()))
+            .with_param("seed", Json::Num(9_003.0)),
+        StageSpec::new("retention", "retention_map").with_deps(&["chips"]),
+        StageSpec::new("report", "report").with_deps(&["chips", "retention"]),
+    ];
+    sc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(metrics: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new("t", true);
+        for (k, v) in metrics {
+            r.metrics.insert(k.to_string(), *v);
+        }
+        r
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let r = sample(&[("a.x_per_s", 123.5), ("b_seconds", 0.25)]);
+        let back = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let text = sample(&[]).to_json().replace("\"schema\": 1", "\"schema\": 9");
+        assert!(BenchReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn direction_follows_naming_convention() {
+        assert_eq!(direction_of("campaign.chips_per_s.w1"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("campaign.speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("orchestrator.warm_run_seconds"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("trace.disabled_ns_per_call"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("campaign.workers"), Direction::Informational);
+    }
+
+    #[test]
+    fn self_comparison_never_regresses() {
+        let r = sample(&[("a_per_s", 100.0), ("b_seconds", 2.0), ("c", 7.0)]);
+        let (lines, regressed) = compare(&r, &r, 10.0);
+        assert!(!regressed);
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.delta_pct == Some(0.0)));
+    }
+
+    #[test]
+    fn regressions_respect_direction_and_threshold() {
+        let base = sample(&[("a_per_s", 100.0), ("b_seconds", 2.0), ("c", 7.0)]);
+        // Throughput down 50%, latency up 50%, info metric wildly off.
+        let cur = sample(&[("a_per_s", 50.0), ("b_seconds", 3.0), ("c", 700.0)]);
+        let (_, regressed) = compare(&base, &cur, 10.0);
+        assert!(regressed);
+        // A generous threshold swallows both.
+        let (_, regressed) = compare(&base, &cur, 60.0);
+        assert!(!regressed);
+        // Improvements are never regressions.
+        let better = sample(&[("a_per_s", 400.0), ("b_seconds", 0.5), ("c", 7.0)]);
+        let (_, regressed) = compare(&base, &better, 10.0);
+        assert!(!regressed);
+    }
+
+    #[test]
+    fn missing_baseline_metrics_are_informational() {
+        let base = sample(&[("a_per_s", 100.0)]);
+        let cur = sample(&[("a_per_s", 100.0), ("new_per_s", 5.0)]);
+        let (lines, regressed) = compare(&base, &cur, 10.0);
+        assert!(!regressed);
+        let new = lines.iter().find(|l| l.name == "new_per_s").unwrap();
+        assert_eq!(new.base, None);
+        assert_eq!(new.delta_pct, None);
+    }
+}

@@ -1,19 +1,25 @@
 //! `pv3t1d` — the single entry point for reproducing the paper.
 //!
 //! ```text
-//! pv3t1d run  <scenario.json> [--quick|--full] [--jobs N] [--results DIR]
-//!                             [--no-cache] [--expect-cached]
-//!                             [--manifest PATH]
-//! pv3t1d plan <scenario.json> [--quick|--full] [--results DIR]
-//! pv3t1d ls   [--results DIR]
-//! pv3t1d gc   <scenario.json>... [--quick|--full] [--results DIR] [--dry-run]
+//! pv3t1d run    <scenario.json> [--quick|--full] [--jobs N] [--results DIR]
+//!                               [--no-cache] [--expect-cached]
+//!                               [--manifest PATH] [--trace PATH]
+//! pv3t1d plan   <scenario.json> [--quick|--full] [--results DIR]
+//! pv3t1d ls     [--results DIR] [--traces]
+//! pv3t1d gc     <scenario.json>... [--quick|--full] [--results DIR] [--dry-run]
+//! pv3t1d bench  [--quick|--full] [--label L] [--results DIR]
+//!               [--compare PATH] [--threshold PCT] [--jobs N]
+//! pv3t1d report <run.json> [--trace PATH] [--out PATH]
 //! ```
 //!
 //! Exit codes: `0` success; `1` at least one stage failed / timed out /
-//! was skipped, or `--expect-cached` was violated; `2` usage, spec, or
-//! I/O errors.
+//! was skipped, `--expect-cached` was violated, or `bench --compare`
+//! found a regression; `2` usage, spec, or I/O errors.
 
-use orchestrator::{plan_scenario, run_scenario, ArtifactStore, RunOptions, Scenario};
+use obs::Json;
+use orchestrator::{
+    bench, plan_scenario, report, run_scenario, ArtifactStore, RunOptions, Scenario,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -21,22 +27,34 @@ const USAGE: &str = "\
 pv3t1d — declarative experiment DAG runner (3T1D cache reproduction)
 
 USAGE:
-    pv3t1d run  <scenario.json> [OPTIONS]    execute a scenario DAG
-    pv3t1d plan <scenario.json> [OPTIONS]    show cache hits without running
-    pv3t1d ls   [OPTIONS]                    list cached artifacts
-    pv3t1d gc   <scenario.json>... [OPTIONS] drop cache entries unreachable
+    pv3t1d run    <scenario.json> [OPTIONS]  execute a scenario DAG
+    pv3t1d plan   <scenario.json> [OPTIONS]  show cache hits without running
+    pv3t1d ls     [OPTIONS]                  list cached artifacts (or traces)
+    pv3t1d gc     <scenario.json>... [OPTIONS] drop cache entries unreachable
                                              from the given scenarios
+    pv3t1d bench  [OPTIONS]                  run the pinned micro-benchmark
+                                             suite, write BENCH_<label>.json
+    pv3t1d report <run.json> [OPTIONS]       render a run manifest (and an
+                                             optional trace) as markdown
     pv3t1d help                              this text
 
 OPTIONS:
-    --quick / --full     override the scenario's run scale
-    --jobs <N>           concurrent stages (default 2)
+    --quick / --full     override the scenario's run scale / bench sizes
+    --jobs <N>           concurrent stages (default 2); bench campaign workers
     --results <DIR>      results directory (default results/)
     --no-cache           (run) execute every stage; still refresh the cache
     --expect-cached      (run) fail unless every stage is a cache hit
     --manifest <PATH>    (run) run-manifest path
                          (default <results>/<scenario>.run.json)
+    --trace <PATH>       (run) capture a Chrome trace-event JSON timeline
+                         (report) trace file to fold into the report
     --dry-run            (gc) report what would be removed, delete nothing
+    --traces             (ls) list *.trace.json files instead of artifacts
+    --label <L>          (bench) baseline label (default \"local\")
+    --compare <PATH>     (bench) diff against a baseline BENCH_*.json;
+                         exit 1 on regression beyond the threshold
+    --threshold <PCT>    (bench) regression noise threshold (default 30)
+    --out <PATH>         (report) write markdown here instead of stdout
 ";
 
 struct Cli {
@@ -45,6 +63,13 @@ struct Cli {
     expect_cached: bool,
     manifest: Option<PathBuf>,
     dry_run: bool,
+    trace: Option<PathBuf>,
+    traces: bool,
+    label: String,
+    compare: Option<PathBuf>,
+    threshold: f64,
+    out: Option<PathBuf>,
+    quick: bool,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -57,6 +82,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         expect_cached: false,
         manifest: None,
         dry_run: false,
+        trace: None,
+        traces: false,
+        label: "local".to_string(),
+        compare: None,
+        threshold: 30.0,
+        out: None,
+        quick: true,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -66,8 +98,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match a.as_str() {
-            "--quick" => cli.opts.scale_override = Some(bench_harness::RunScale::QUICK),
-            "--full" => cli.opts.scale_override = Some(bench_harness::RunScale::FULL),
+            "--quick" => {
+                cli.opts.scale_override = Some(bench_harness::RunScale::QUICK);
+                cli.quick = true;
+            }
+            "--full" => {
+                cli.opts.scale_override = Some(bench_harness::RunScale::FULL);
+                cli.quick = false;
+            }
             "--jobs" => {
                 cli.opts.jobs = value_of("--jobs")?
                     .parse::<usize>()
@@ -79,6 +117,19 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--no-cache" => cli.opts.use_cache = false,
             "--expect-cached" => cli.expect_cached = true,
             "--dry-run" => cli.dry_run = true,
+            "--trace" => cli.trace = Some(PathBuf::from(value_of("--trace")?)),
+            "--traces" => cli.traces = true,
+            "--label" => cli.label = value_of("--label")?,
+            "--compare" => cli.compare = Some(PathBuf::from(value_of("--compare")?)),
+            "--threshold" => {
+                cli.threshold = value_of("--threshold")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--threshold: {e}"))?;
+                if !cli.threshold.is_finite() || cli.threshold < 0.0 {
+                    return Err("--threshold must be a non-negative percent".into());
+                }
+            }
+            "--out" => cli.out = Some(PathBuf::from(value_of("--out")?)),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => cli.positional.push(PathBuf::from(path)),
         }
@@ -95,7 +146,32 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
         return Err("run needs exactly one scenario file".into());
     };
     let sc = load(path)?;
+    if cli.trace.is_some() {
+        obs::trace::enable_default();
+    }
     let summary = run_scenario(&sc, &cli.opts).map_err(|e| e.to_string())?;
+    if let Some(trace_path) = &cli.trace {
+        obs::trace::disable();
+        obs::trace::write_to(trace_path)
+            .map_err(|e| format!("writing {}: {e}", trace_path.display()))?;
+        let doc = obs::trace::export();
+        let dropped = obs::trace::dropped_count();
+        obs::trace::clear();
+        if let Some(s) = obs::trace::summarize(&doc) {
+            println!(
+                "trace: {} ({} events: {} spans, {} instants, {} counter samples{})",
+                trace_path.display(),
+                s.events,
+                s.spans,
+                s.instants,
+                s.counters,
+                match dropped {
+                    0 => String::new(),
+                    n => format!("; {n} dropped at the ring cap"),
+                }
+            );
+        }
+    }
 
     let manifest = cli
         .manifest
@@ -168,6 +244,9 @@ fn cmd_plan(cli: &Cli) -> Result<ExitCode, String> {
 }
 
 fn cmd_ls(cli: &Cli) -> Result<ExitCode, String> {
+    if cli.traces {
+        return cmd_ls_traces(cli);
+    }
     let store = ArtifactStore::new(cli.opts.results_dir.join("cas"));
     let rows = store.ls();
     let mut bytes = 0u64;
@@ -186,6 +265,119 @@ fn cmd_ls(cli: &Cli) -> Result<ExitCode, String> {
         rows.iter().filter(|r| r.kind.is_none()).count(),
         store.root().display()
     );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ls --traces`: every `*.trace.json` under the results directory, with
+/// its size and span/event counts (unparseable files are listed, flagged).
+fn cmd_ls_traces(cli: &Cli) -> Result<ExitCode, String> {
+    let dir = &cli.opts.results_dir;
+    let mut rows: Vec<(String, u64, Option<obs::trace::TraceSummary>)> = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("0 traces in {}", dir.display());
+            return Ok(ExitCode::SUCCESS);
+        }
+        Err(e) => return Err(format!("reading {}: {e}", dir.display())),
+    };
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".trace.json") {
+            continue;
+        }
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        let summary = std::fs::read_to_string(entry.path())
+            .ok()
+            .and_then(|text| Json::parse(&text).ok())
+            .and_then(|doc| obs::trace::summarize(&doc));
+        rows.push((name, bytes, summary));
+    }
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, bytes, summary) in &rows {
+        match summary {
+            Some(s) => println!(
+                "{name}  {bytes:>10} B  {:>7} spans {:>8} events",
+                s.spans, s.events
+            ),
+            None => println!("{name}  {bytes:>10} B  (unparseable)"),
+        }
+    }
+    println!("{} traces in {}", rows.len(), dir.display());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_bench(cli: &Cli) -> Result<ExitCode, String> {
+    if !cli.positional.is_empty() {
+        return Err("bench takes no positional arguments".into());
+    }
+    let report = bench::run_suite(&cli.label, cli.quick, cli.opts.jobs.max(2), true);
+    let path = cli
+        .opts
+        .results_dir
+        .join(format!("BENCH_{}.json", report.label));
+    report
+        .write_to(&path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "bench {}: {} metrics -> {}",
+        report.label,
+        report.metrics.len(),
+        path.display()
+    );
+
+    let Some(base_path) = &cli.compare else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let base = bench::BenchReport::read_from(base_path)
+        .map_err(|e| format!("reading {}: {e}", base_path.display()))?;
+    let (lines, regressed) = bench::compare(&base, &report, cli.threshold);
+    println!(
+        "compare vs {} (label {}, threshold {}%):",
+        base_path.display(),
+        base.label,
+        cli.threshold
+    );
+    for l in &lines {
+        let delta = match l.delta_pct {
+            Some(d) => format!("{d:+8.1}%"),
+            None => "     new".to_string(),
+        };
+        let verdict = if l.regressed { "REGRESSED" } else { "ok" };
+        println!("  {:<36} {:>14.4} {delta}  {verdict}", l.name, l.current);
+    }
+    if regressed {
+        eprintln!("error: benchmark regression beyond {}%", cli.threshold);
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_report(cli: &Cli) -> Result<ExitCode, String> {
+    let [path] = cli.positional.as_slice() else {
+        return Err("report needs exactly one run-manifest file".into());
+    };
+    let read_json = |p: &Path| -> Result<Json, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        Json::parse(&text).map_err(|e| format!("{}: {e}", p.display()))
+    };
+    let manifest = read_json(path)?;
+    let trace = cli.trace.as_deref().map(read_json).transpose()?;
+    let md = report::render(&manifest, trace.as_ref());
+    match &cli.out {
+        Some(out) => {
+            if let Some(parent) = out.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("{}: {e}", out.display()))?;
+                }
+            }
+            std::fs::write(out, &md).map_err(|e| format!("{}: {e}", out.display()))?;
+            println!("report: {}", out.display());
+        }
+        None => print!("{md}"),
+    }
     Ok(ExitCode::SUCCESS)
 }
 
@@ -234,6 +426,8 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(&cli),
         "ls" => cmd_ls(&cli),
         "gc" => cmd_gc(&cli),
+        "bench" => cmd_bench(&cli),
+        "report" => cmd_report(&cli),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

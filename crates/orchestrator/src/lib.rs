@@ -20,19 +20,27 @@
 //!   and treated as a cache miss;
 //! * [`stage`] — the stage kinds themselves, thin JSON adapters over
 //!   the library stage functions in [`bench_harness::figures`] and
-//!   [`t3cache`].
+//!   [`t3cache`];
+//! * [`bench`] — the pinned micro-benchmark suite behind `pv3t1d bench`
+//!   and the `BENCH_<label>.json` baseline / `--compare` regression
+//!   machinery;
+//! * [`report`] — the `pv3t1d report` markdown renderer for run
+//!   manifests and `--trace` captures.
 //!
 //! The determinism contract extends the workspace-wide one: a second
 //! `pv3t1d run` of an unchanged scenario executes **zero** stages (every
 //! lookup hits) and reproduces the run manifest's `results` section and
 //! fingerprint bit-for-bit. CI pins exactly that.
 
+pub mod bench;
 pub mod cas;
 pub mod hash;
+pub mod report;
 pub mod sched;
 pub mod spec;
 pub mod stage;
 
+pub use bench::{compare, BenchReport, CompareLine, Direction};
 pub use cas::{ArtifactStore, CasEntry, CasListing, GcReport};
 pub use hash::content_hash;
 pub use sched::{

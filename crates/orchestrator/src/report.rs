@@ -1,0 +1,320 @@
+//! The `pv3t1d report` renderer: turns a run manifest (and optionally a
+//! Chrome trace captured with `run --trace`) into a human-readable
+//! markdown digest — stage table, scheduler metrics, top spans by
+//! accumulated wall time, and domain-event counts.
+//!
+//! The renderer is read-only and format-tolerant: it works off the
+//! parsed JSON documents, skipping sections whose members are absent,
+//! so it can digest manifests from older runs as schemas evolve.
+
+use obs::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a run-manifest document (the JSON written by
+/// `pv3t1d run`) as markdown. `trace` adds the trace sections when a
+/// matching trace document is supplied.
+pub fn render(manifest: &Json, trace: Option<&Json>) -> String {
+    let mut out = String::new();
+    render_manifest(&mut out, manifest);
+    if let Some(doc) = trace {
+        render_trace(&mut out, doc);
+    }
+    out
+}
+
+fn render_manifest(out: &mut String, manifest: &Json) {
+    let results = manifest.get("results");
+    let scenario = results
+        .and_then(|r| r.get("scenario"))
+        .and_then(Json::as_str)
+        .unwrap_or("?");
+    let ok = manifest.get("ok").and_then(Json::as_bool).unwrap_or(false);
+    let _ = writeln!(out, "# Run report: {scenario}\n");
+    let _ = writeln!(out, "- status: **{}**", if ok { "ok" } else { "FAILED" });
+    if let Some(fp) = manifest.get("fingerprint").and_then(Json::as_str) {
+        let _ = writeln!(out, "- fingerprint: `{fp}`");
+    }
+
+    let execution = manifest.get("execution");
+    if let Some(exec) = execution {
+        let n = |key: &str| exec.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "- execution: {:.2} s wall, {} jobs, {} cached / {} executed",
+            n("wall_seconds"),
+            n("jobs") as u64,
+            n("cache_hits") as u64,
+            n("executed") as u64,
+        );
+    }
+    let _ = writeln!(out);
+
+    // Stage table: deterministic facts from `results`, timing from
+    // `execution.stages`.
+    if let Some(stages) = results.and_then(|r| r.get("stages")).and_then(Json::as_obj) {
+        let exec_stages = execution.and_then(|e| e.get("stages"));
+        let _ = writeln!(out, "## Stages\n");
+        let _ = writeln!(out, "| stage | kind | status | source | seconds |");
+        let _ = writeln!(out, "|---|---|---|---|---:|");
+        for (id, s) in stages {
+            let kind = s.get("kind").and_then(Json::as_str).unwrap_or("?");
+            let status = s.get("status").and_then(Json::as_str).unwrap_or("?");
+            let detail = exec_stages.and_then(|e| e.get(id));
+            let source = detail
+                .and_then(|d| d.get("source"))
+                .and_then(Json::as_str)
+                .unwrap_or("-");
+            let seconds = detail
+                .and_then(|d| d.get("seconds"))
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0);
+            let _ = writeln!(out, "| {id} | {kind} | {status} | {source} | {seconds:.3} |");
+        }
+        let _ = writeln!(out);
+    }
+
+    if let Some(errors) = manifest.get("errors").and_then(Json::as_obj) {
+        if !errors.is_empty() {
+            let _ = writeln!(out, "## Errors\n");
+            for (id, msg) in errors {
+                let _ = writeln!(out, "- `{id}`: {}", msg.as_str().unwrap_or("?"));
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    // Scheduler metrics; `compare.*` gauges (measured-vs-paper
+    // checkpoints) get their own table when present.
+    if let Some(metrics) = execution.and_then(|e| e.get("metrics")) {
+        let mut compares: Vec<(&String, f64)> = Vec::new();
+        let mut plain: Vec<(String, f64)> = Vec::new();
+        if let Some(gauges) = metrics.get("gauges").and_then(Json::as_obj) {
+            for (name, v) in gauges {
+                let Some(v) = v.as_f64() else { continue };
+                if name.starts_with("compare.") {
+                    compares.push((name, v));
+                } else {
+                    plain.push((name.clone(), v));
+                }
+            }
+        }
+        if let Some(counters) = metrics.get("counters").and_then(Json::as_obj) {
+            for (name, v) in counters {
+                if let Some(v) = v.as_f64() {
+                    plain.push((name.clone(), v));
+                }
+            }
+        }
+        if !plain.is_empty() {
+            plain.sort_by(|a, b| a.0.cmp(&b.0));
+            let _ = writeln!(out, "## Scheduler metrics\n");
+            let _ = writeln!(out, "| metric | value |");
+            let _ = writeln!(out, "|---|---:|");
+            for (name, v) in &plain {
+                let _ = writeln!(out, "| {name} | {v:.3} |");
+            }
+            let _ = writeln!(out);
+        }
+        if !compares.is_empty() {
+            let _ = writeln!(out, "## Measured-vs-paper checkpoints\n");
+            let _ = writeln!(out, "| checkpoint | value |");
+            let _ = writeln!(out, "|---|---:|");
+            for (name, v) in &compares {
+                let _ = writeln!(out, "| {} | {v:.4} |", &name["compare.".len()..]);
+            }
+            let _ = writeln!(out);
+        }
+    }
+}
+
+/// Accumulated wall time per span name, from a per-track `B`/`E` stack
+/// walk. Returns `(name, total_duration, count)` sorted by descending
+/// total duration. Durations are in the track's native unit (µs on the
+/// wall-clock track, cycles on the simulator track).
+fn span_totals(events: &[Json]) -> Vec<(String, f64, u64)> {
+    let mut stacks: BTreeMap<(u64, u64), Vec<(String, f64)>> = BTreeMap::new();
+    let mut totals: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    for ev in events {
+        let (Some(pid), Some(tid), Some(ph), Some(ts)) = (
+            ev.get("pid").and_then(Json::as_u64),
+            ev.get("tid").and_then(Json::as_u64),
+            ev.get("ph").and_then(Json::as_str),
+            ev.get("ts").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let stack = stacks.entry((pid, tid)).or_default();
+        match ph {
+            "B" => {
+                let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+                stack.push((name.to_string(), ts));
+            }
+            "E" => {
+                if let Some((name, begin)) = stack.pop() {
+                    let e = totals.entry(name).or_insert((0.0, 0));
+                    e.0 += (ts - begin).max(0.0);
+                    e.1 += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut rows: Vec<(String, f64, u64)> = totals
+        .into_iter()
+        .map(|(name, (dur, count))| (name, dur, count))
+        .collect();
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+/// Counts instant/counter events per `cat.name`.
+fn event_counts(events: &[Json]) -> Vec<(String, u64)> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in events {
+        if !matches!(ev.get("ph").and_then(Json::as_str), Some("i") | Some("C")) {
+            continue;
+        }
+        let cat = ev.get("cat").and_then(Json::as_str).unwrap_or("?");
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("?");
+        *counts.entry(format!("{cat}.{name}")).or_insert(0) += 1;
+    }
+    let mut rows: Vec<(String, u64)> = counts.into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    rows
+}
+
+const TOP_ROWS: usize = 12;
+
+fn render_trace(out: &mut String, doc: &Json) {
+    let Some(events) = doc.get("traceEvents").and_then(Json::as_arr) else {
+        let _ = writeln!(out, "## Trace\n\n(no traceEvents array in trace file)\n");
+        return;
+    };
+    let _ = writeln!(out, "## Trace\n");
+    if let Some(s) = obs::trace::summarize(doc) {
+        let _ = writeln!(
+            out,
+            "{} events: {} spans, {} instants, {} counter samples\n",
+            s.events, s.spans, s.instants, s.counters
+        );
+    }
+
+    let spans = span_totals(events);
+    if !spans.is_empty() {
+        let _ = writeln!(out, "### Top spans by accumulated time\n");
+        let _ = writeln!(out, "| span | total (track units) | count |");
+        let _ = writeln!(out, "|---|---:|---:|");
+        for (name, dur, count) in spans.iter().take(TOP_ROWS) {
+            let _ = writeln!(out, "| {name} | {dur:.1} | {count} |");
+        }
+        if spans.len() > TOP_ROWS {
+            let _ = writeln!(out, "| … {} more | | |", spans.len() - TOP_ROWS);
+        }
+        let _ = writeln!(out);
+    }
+
+    let counts = event_counts(events);
+    if !counts.is_empty() {
+        let _ = writeln!(out, "### Event counts\n");
+        let _ = writeln!(out, "| event | count |");
+        let _ = writeln!(out, "|---|---:|");
+        for (name, count) in counts.iter().take(TOP_ROWS) {
+            let _ = writeln!(out, "| {name} | {count} |");
+        }
+        if counts.len() > TOP_ROWS {
+            let _ = writeln!(out, "| … {} more | |", counts.len() - TOP_ROWS);
+        }
+        let _ = writeln!(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_doc() -> Json {
+        obs::trace::disable();
+        obs::trace::clear();
+        obs::trace::enable(1 << 10);
+        {
+            let _a = obs::trace::span("orchestrator", "run_scenario:test");
+            let _b = obs::trace::span("t3cache", "unit:0");
+            obs::trace::instant("orchestrator", "cas.miss:chips");
+            obs::trace::sim_instant("cachesim", "refresh.issued", 100);
+            obs::trace::sim_instant("cachesim", "refresh.issued", 300);
+        }
+        obs::trace::disable();
+        let doc = obs::trace::export();
+        obs::trace::clear();
+        doc
+    }
+
+    fn manifest_doc() -> Json {
+        Json::parse(
+            r#"{
+              "schema": 1, "ok": true, "fingerprint": "abc123",
+              "results": {"scenario": "quick", "stages": {
+                "chips": {"kind": "chip_campaign", "status": "ok"},
+                "map": {"kind": "retention_map", "status": "ok"}
+              }},
+              "errors": {"late": "timed out after 1 seconds"},
+              "execution": {
+                "jobs": 2, "wall_seconds": 1.5, "cache_hits": 1,
+                "cache_misses": 1, "executed": 1,
+                "stages": {
+                  "chips": {"source": "cache", "seconds": 0.0},
+                  "map": {"source": "run", "seconds": 0.75}
+                },
+                "metrics": {
+                  "counters": {"orchestrator.cas.hits": 1},
+                  "gauges": {"compare.ipc": 0.97, "orchestrator.run.wall_seconds": 1.5},
+                  "histograms": {}
+                }
+              }
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_manifest_sections() {
+        let md = render(&manifest_doc(), None);
+        for needle in [
+            "# Run report: quick",
+            "status: **ok**",
+            "`abc123`",
+            "| chips | chip_campaign | ok | cache | 0.000 |",
+            "| map | retention_map | ok | run | 0.750 |",
+            "timed out after 1 seconds",
+            "| orchestrator.cas.hits | 1.000 |",
+            "## Measured-vs-paper checkpoints",
+            "| ipc | 0.9700 |",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn renders_trace_sections() {
+        let md = render(&manifest_doc(), Some(&trace_doc()));
+        for needle in [
+            "## Trace",
+            "### Top spans by accumulated time",
+            "run_scenario:test",
+            "unit:0",
+            "### Event counts",
+            "cachesim.refresh.issued | 2",
+            "orchestrator.cas.miss:chips | 1",
+        ] {
+            assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
+        }
+    }
+
+    #[test]
+    fn tolerates_minimal_documents() {
+        let md = render(&Json::object(), Some(&Json::object()));
+        assert!(md.contains("# Run report: ?"));
+        assert!(md.contains("no traceEvents"));
+    }
+}

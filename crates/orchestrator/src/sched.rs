@@ -337,6 +337,7 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
     let started = Instant::now();
     let n = sc.stages.len();
     let jobs = opts.jobs.max(1);
+    let _run_span = obs::trace::span_with("orchestrator", || format!("run_scenario:{}", sc.name));
 
     let index_of: HashMap<&str, usize> = sc
         .stages
@@ -444,10 +445,12 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                     digests[i] = Some(entry.payload_hash);
                     payloads[i] = Some(entry.payload);
                     hits += 1;
+                    obs::trace::instant_with("orchestrator", || format!("cas.hit:{}", s.id));
                     finish_stage!(i, StageStatus::Cached);
                     continue;
                 }
                 misses += 1;
+                obs::trace::instant_with("orchestrator", || format!("cas.miss:{}", s.id));
             }
 
             let deadline = s
@@ -458,7 +461,10 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
             let tx = tx.clone();
             let kind = s.kind.clone();
             let params = s.params.clone();
+            let stage_id = s.id.clone();
             std::thread::spawn(move || {
+                let _stage_span =
+                    obs::trace::span_with("orchestrator", || format!("stage:{stage_id}"));
                 let t0 = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     stage::execute(

@@ -186,12 +186,14 @@ where
 {
     let workers = workers.max(1).min(n.max(1));
     let start = Instant::now();
+    let _campaign_span = obs::trace::span_with("t3cache", || format!("campaign.map:{n}x{workers}"));
 
     let run_units = |results: &mut Vec<(usize, R, Duration)>, next: &AtomicUsize| loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
         }
+        let _unit_span = obs::trace::span_with("t3cache", || format!("unit:{i}"));
         let t0 = Instant::now();
         let r = f(i);
         results.push((i, r, t0.elapsed()));
@@ -205,10 +207,14 @@ where
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    let run_units = &run_units;
+                    let next = &next;
+                    scope.spawn(move || {
+                        let _worker_span =
+                            obs::trace::span_with("t3cache", || format!("worker:{w}"));
                         let mut local = Vec::new();
-                        run_units(&mut local, &next);
+                        run_units(&mut local, next);
                         local
                     })
                 })

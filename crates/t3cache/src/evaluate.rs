@@ -197,7 +197,13 @@ impl Evaluator {
     ///
     /// [`ReplayTrace`]: workloads::ReplayTrace
     fn recorded_traces(&self) -> &[RecordedTrace] {
+        if let Some(traces) = self.traces.get() {
+            obs::trace::instant("t3cache", "trace_memo.hit");
+            return traces;
+        }
+        obs::trace::instant("t3cache", "trace_memo.miss");
         self.traces.get_or_init(|| {
+            let _record_span = obs::trace::span("t3cache", "trace_memo.record");
             let slack = 2 * self.cfg.machine.rob_entries as u64 + 1024;
             let len = self.cfg.warmup + self.cfg.instructions + slack;
             self.cfg

@@ -82,6 +82,65 @@ fn campaign_one_vs_eight_workers_is_bit_identical() {
 }
 
 #[test]
+fn tracing_cannot_change_results_and_sees_the_whole_stack() {
+    // Capture-on vs capture-off runs of the same campaign must fingerprint
+    // bit-identically: tracing is observation only.
+    let fingerprint = |result: &t3cache::campaign::CampaignResult, labels: &[String]| {
+        let mut manifest = obs::RunManifest::new("determinism");
+        manifest.seed = Some(20_244);
+        result.export(&mut manifest.metrics, labels);
+        manifest.deterministic_fingerprint()
+    };
+
+    let (base, labels, _) = small_campaign(2);
+    let fp_off = fingerprint(&base, &labels);
+
+    obs::trace::enable(1 << 16);
+    let (traced, labels_on, _) = small_campaign(2);
+    obs::trace::disable();
+    let doc = obs::trace::export();
+    obs::trace::clear();
+    let fp_on = fingerprint(&traced, &labels_on);
+    assert_eq!(
+        fp_off, fp_on,
+        "enabling the tracer must not perturb campaign results"
+    );
+
+    // The one capture must hold events from the whole stack: campaign
+    // orchestration (t3cache), the pipeline (uarch), and cache domain
+    // events (cachesim) — plus at least two distinct domain event types.
+    use std::collections::BTreeSet;
+    let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+    let cats: BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| e.get("cat").and_then(obs::Json::as_str))
+        .collect();
+    for cat in ["t3cache", "uarch", "cachesim"] {
+        assert!(cats.contains(cat), "no {cat} events in {cats:?}");
+    }
+    let domain: BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(obs::Json::as_str))
+        .filter(|n| {
+            [
+                "refresh.issued",
+                "refresh.completed",
+                "line.dead",
+                "eviction.retention",
+                "stall.run",
+                "port.retry",
+                "replay.flush",
+            ]
+            .contains(n)
+        })
+        .collect();
+    assert!(
+        domain.len() >= 2,
+        "expected at least two domain event types, got {domain:?}"
+    );
+}
+
+#[test]
 fn map_indexed_merge_order_is_worker_count_invariant() {
     // The raw engine primitive behind every campaign: results land in
     // submission order regardless of which worker computed them.

@@ -249,6 +249,7 @@ impl Pipeline {
     ) -> SimResult {
         let start = self.result;
         let start_cycle = self.cycle;
+        let _span = obs::trace::span_with("uarch", || format!("pipeline.run:{instructions}"));
         let mut committed: u64 = 0;
         // Safety valve so a model bug cannot hang the harness.
         let max_cycles = self
@@ -434,10 +435,12 @@ impl Pipeline {
                                 self.fetch_blocked_until = self
                                     .fetch_blocked_until
                                     .max(cycle + self.cfg.replay_flush_cycles as u64);
+                                obs::trace::sim_instant("uarch", "replay.flush", cycle);
                             }
                         }
                         Err(_) => {
                             self.result.port_retries += 1;
+                            obs::trace::sim_instant("uarch", "port.retry", cycle);
                             // Stay unissued; retry next cycle.
                             if in_order_barrier {
                                 break;
