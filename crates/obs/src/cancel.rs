@@ -1,0 +1,71 @@
+//! Cooperative cancellation: a cheap, cloneable token threaded from the
+//! CLI's signal handler down through the scheduler into campaign
+//! workers.
+//!
+//! Cancellation is *cooperative*: nothing is interrupted preemptively.
+//! Long-running loops poll [`CancelToken::is_cancelled`] at natural
+//! yield points (between stage launches, between campaign units) and
+//! wind down on their own, which is what lets the callers flush partial
+//! manifests, per-unit checkpoints, and the trace ring before exiting.
+//!
+//! The token is a shared flag, not a channel: once set it stays set, and
+//! every clone observes it. Checking is one relaxed-ordering atomic load,
+//! so polling it per campaign unit is free next to the unit itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared one-way cancellation flag. Clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never un-sets.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested on this token (or any
+    /// clone of it).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel(); // idempotent
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        c.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        std::thread::spawn(move || c.cancel()).join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

@@ -53,14 +53,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod json;
 pub mod manifest;
 pub mod registry;
 pub mod trace;
 
+pub use cancel::CancelToken;
 pub use json::{Json, JsonError};
 pub use manifest::{RunManifest, SCHEMA_VERSION};
-pub use registry::{FixedHistogram, MetricsRegistry};
+pub use registry::{FixedHistogram, MetricsRegistry, NONFINITE_DROPPED};
 
 /// Times a block and records it as a span in a [`MetricsRegistry`]:
 /// bumps `{name}.calls` and accumulates `{name}.seconds`.

@@ -14,6 +14,12 @@ use crate::json::Json;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+/// Counter bumped whenever a non-finite gauge value is rejected at the
+/// registry boundary (see [`MetricsRegistry::set_gauge`]). A non-zero
+/// value in a manifest flags that some instrument produced NaN/Inf —
+/// the value was dropped rather than written as JSON `null`.
+pub const NONFINITE_DROPPED: &str = "metrics.nonfinite_dropped";
+
 /// A fixed-bucket linear histogram over `[lo, hi)` with explicit
 /// underflow/overflow counts.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,7 +89,15 @@ impl FixedHistogram {
     /// precomputed reciprocal width — `(value - lo) * inv_width`, clamped
     /// to the last bucket — so every call uses the identical rounding and
     /// exactly-representable bucket boundaries land in the upper bucket.
+    ///
+    /// Non-finite observations are dropped without counting: a NaN would
+    /// both land in a bucket via the `as usize` cast (NaN casts to 0) and
+    /// poison `sum`, which JSON renders as `null` and which breaks the
+    /// manifest round-trip.
     pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
         self.count += 1;
         self.sum += value;
         if value < self.lo {
@@ -225,14 +239,27 @@ impl MetricsRegistry {
         self.counters.insert(name.to_string(), value);
     }
 
-    /// Sets a gauge.
+    /// Sets a gauge. Non-finite values are rejected at this boundary —
+    /// the JSON layer renders them as `null`, which would silently
+    /// corrupt the manifest round-trip and fingerprint — and counted
+    /// under [`NONFINITE_DROPPED`] instead.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
+        if !value.is_finite() {
+            self.inc(NONFINITE_DROPPED, 1);
+            return;
+        }
         self.gauges.insert(name.to_string(), value);
     }
 
     /// Adds to a gauge, creating it at zero first if absent (used by span
-    /// timers to accumulate seconds).
+    /// timers to accumulate seconds). Non-finite increments are rejected
+    /// like [`MetricsRegistry::set_gauge`]'s — adding a NaN would destroy
+    /// the accumulated value, not just this sample.
     pub fn add_gauge(&mut self, name: &str, value: f64) {
+        if !value.is_finite() {
+            self.inc(NONFINITE_DROPPED, 1);
+            return;
+        }
         *self.gauges.entry(name.to_string()).or_insert(0.0) += value;
     }
 
@@ -623,6 +650,60 @@ mod tests {
         assert!(r.get_histogram("campaign.unit_seconds").is_none());
         // The filtered registry fingerprints identically to the original.
         assert_eq!(r.deterministic_fingerprint(), m.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn nonfinite_gauges_are_dropped_and_counted() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("a", f64::NAN);
+        m.set_gauge("b", f64::INFINITY);
+        m.add_gauge("c", f64::NEG_INFINITY);
+        assert_eq!(m.gauge("a"), None);
+        assert_eq!(m.gauge("b"), None);
+        assert_eq!(m.gauge("c"), None);
+        assert_eq!(m.counter(NONFINITE_DROPPED), Some(3));
+        // A later finite write still lands.
+        m.set_gauge("a", 1.5);
+        assert_eq!(m.gauge("a"), Some(1.5));
+        // An established accumulator is not poisoned by a NaN add.
+        m.add_gauge("acc", 2.0);
+        m.add_gauge("acc", f64::NAN);
+        assert_eq!(m.gauge("acc"), Some(2.0));
+    }
+
+    #[test]
+    fn nonfinite_histogram_observations_are_skipped() {
+        let mut h = FixedHistogram::new(0.0, 10.0, 5);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0.0);
+        assert_eq!(h.buckets(), &[0; 5]);
+        assert_eq!((h.underflow(), h.overflow()), (0, 0));
+        h.record(5.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_with_rejected_nonfinite_round_trips_bit_exactly() {
+        // Before the boundary guard, a NaN gauge rendered as JSON null
+        // and the round-trip silently changed the registry (null → NaN
+        // on read, which renders as null again but compares unequal).
+        // With the guard nothing non-finite reaches the JSON layer.
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("perf", 0.9871234567890123);
+        m.set_gauge("bad", f64::NAN);
+        m.histogram("h", 0.0, 1.0, 4).record(f64::NAN);
+        m.histogram("h", 0.0, 1.0, 4).record(0.25);
+        let rendered = m.to_json().render_pretty();
+        assert!(!rendered.contains("null"), "non-finite leaked:\n{rendered}");
+        let back = MetricsRegistry::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(
+            back.deterministic_fingerprint(),
+            m.deterministic_fingerprint()
+        );
     }
 
     #[test]

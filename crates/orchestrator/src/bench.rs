@@ -181,12 +181,19 @@ pub struct CompareLine {
 /// non-informational metric regressed beyond the threshold. Metrics
 /// missing from the baseline are informational; metrics missing from the
 /// current run are ignored (the baseline may be from a richer suite).
+///
+/// A gated (non-informational) metric whose baseline or current value is
+/// zero or non-finite is **treated as regressed**: a percentage delta
+/// cannot be formed, and every comparison against an Inf/NaN delta is
+/// false — silently passing the gate on exactly the runs most likely to
+/// be broken. A corrupt baseline must fail loudly, not quietly.
 pub fn compare(base: &BenchReport, current: &BenchReport, threshold_pct: f64) -> (Vec<CompareLine>, bool) {
     let mut lines = Vec::new();
     let mut any_regressed = false;
     for (name, &cur) in &current.metrics {
+        let gated = direction_of(name) != Direction::Informational;
         let line = match base.metrics.get(name) {
-            Some(&b) if b != 0.0 => {
+            Some(&b) if b != 0.0 && b.is_finite() && cur.is_finite() => {
                 let delta_pct = (cur - b) / b * 100.0;
                 let regressed = match direction_of(name) {
                     Direction::HigherIsBetter => delta_pct < -threshold_pct,
@@ -201,9 +208,18 @@ pub fn compare(base: &BenchReport, current: &BenchReport, threshold_pct: f64) ->
                     regressed,
                 }
             }
-            other => CompareLine {
+            Some(&b) => CompareLine {
+                // Uncomparable against a present baseline (zero / Inf /
+                // NaN on either side): fail the gate for gated metrics.
                 name: name.clone(),
-                base: other.copied(),
+                base: Some(b),
+                current: cur,
+                delta_pct: None,
+                regressed: gated,
+            },
+            None => CompareLine {
+                name: name.clone(),
+                base: None,
                 current: cur,
                 delta_pct: None,
                 regressed: false,
@@ -365,6 +381,7 @@ pub fn run_suite(label: &str, quick: bool, workers: usize, verbose: bool) -> Ben
         use_cache: true,
         scale_override: Some(RunScale::QUICK),
         verbose: false,
+        cancel: None,
     };
     let cold = run_scenario(&sc, &opts).expect("bench scenario is valid");
     assert!(cold.ok(), "bench scenario must run cleanly");
@@ -462,5 +479,52 @@ mod tests {
         let new = lines.iter().find(|l| l.name == "new_per_s").unwrap();
         assert_eq!(new.base, None);
         assert_eq!(new.delta_pct, None);
+    }
+
+    #[test]
+    fn zero_baseline_on_a_gated_metric_fails_the_gate() {
+        // The bug this pins: a zero baseline made delta_pct Inf/NaN,
+        // every threshold comparison false, and the gate silently green
+        // no matter how bad the current run was.
+        let base = sample(&[("a_per_s", 0.0)]);
+        let cur = sample(&[("a_per_s", 100.0)]);
+        let (lines, regressed) = compare(&base, &cur, 10.0);
+        assert!(regressed, "zero baseline must fail a gated metric");
+        assert_eq!(lines[0].delta_pct, None);
+        assert!(lines[0].regressed);
+
+        // Same for a lower-is-better metric.
+        let base = sample(&[("b_seconds", 0.0)]);
+        let cur = sample(&[("b_seconds", 5.0)]);
+        let (_, regressed) = compare(&base, &cur, 10.0);
+        assert!(regressed);
+
+        // An informational metric with a zero baseline stays quiet.
+        let base = sample(&[("c", 0.0)]);
+        let cur = sample(&[("c", 5.0)]);
+        let (lines, regressed) = compare(&base, &cur, 10.0);
+        assert!(!regressed);
+        assert!(!lines[0].regressed);
+    }
+
+    #[test]
+    fn nonfinite_values_on_a_gated_metric_fail_the_gate() {
+        // NaN baseline.
+        let base = sample(&[("a_per_s", f64::NAN)]);
+        let cur = sample(&[("a_per_s", 100.0)]);
+        let (_, regressed) = compare(&base, &cur, 10.0);
+        assert!(regressed, "NaN baseline must fail a gated metric");
+
+        // Infinite baseline.
+        let base = sample(&[("a_per_s", f64::INFINITY)]);
+        let (_, regressed) = compare(&base, &cur, 10.0);
+        assert!(regressed, "Inf baseline must fail a gated metric");
+
+        // NaN current value against a sane baseline.
+        let base = sample(&[("a_per_s", 100.0)]);
+        let cur = sample(&[("a_per_s", f64::NAN)]);
+        let (lines, regressed) = compare(&base, &cur, 10.0);
+        assert!(regressed, "NaN current must fail a gated metric");
+        assert_eq!(lines[0].delta_pct, None);
     }
 }

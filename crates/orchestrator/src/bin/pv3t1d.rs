@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pv3t1d run    <scenario.json> [--quick|--full] [--jobs N] [--results DIR]
-//!                               [--no-cache] [--expect-cached]
+//!                               [--no-cache] [--expect-cached] [--keep-going]
 //!                               [--manifest PATH] [--trace PATH]
 //! pv3t1d plan   <scenario.json> [--quick|--full] [--results DIR]
 //! pv3t1d ls     [--results DIR] [--traces]
@@ -13,8 +13,14 @@
 //! ```
 //!
 //! Exit codes: `0` success; `1` at least one stage failed / timed out /
-//! was skipped, `--expect-cached` was violated, or `bench --compare`
-//! found a regression; `2` usage, spec, or I/O errors.
+//! was skipped / was cancelled, `--expect-cached` was violated, or
+//! `bench --compare` found a regression; `2` usage, spec, or I/O errors.
+//!
+//! `run` installs SIGINT/SIGTERM handlers that cancel the scheduler
+//! cooperatively: in-flight campaigns stop at the next unit boundary
+//! with their completed units checkpointed, the partial run manifest
+//! (and `--trace` capture) is still written, and rerunning the same
+//! command resumes from the checkpoints.
 
 use obs::Json;
 use orchestrator::{
@@ -44,6 +50,8 @@ OPTIONS:
     --results <DIR>      results directory (default results/)
     --no-cache           (run) execute every stage; still refresh the cache
     --expect-cached      (run) fail unless every stage is a cache hit
+    --keep-going         (run) report failed stages but exit 0 anyway
+                         (interrupts still exit non-zero)
     --manifest <PATH>    (run) run-manifest path
                          (default <results>/<scenario>.run.json)
     --trace <PATH>       (run) capture a Chrome trace-event JSON timeline
@@ -70,6 +78,7 @@ struct Cli {
     threshold: f64,
     out: Option<PathBuf>,
     quick: bool,
+    keep_going: bool,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -89,6 +98,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         threshold: 30.0,
         out: None,
         quick: true,
+        keep_going: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -116,6 +126,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--manifest" => cli.manifest = Some(PathBuf::from(value_of("--manifest")?)),
             "--no-cache" => cli.opts.use_cache = false,
             "--expect-cached" => cli.expect_cached = true,
+            "--keep-going" => cli.keep_going = true,
             "--dry-run" => cli.dry_run = true,
             "--trace" => cli.trace = Some(PathBuf::from(value_of("--trace")?)),
             "--traces" => cli.traces = true,
@@ -141,6 +152,56 @@ fn load(path: &Path) -> Result<Scenario, String> {
     Scenario::load(path).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// SIGINT/SIGTERM → cooperative cancellation. The raw `signal(2)`
+/// registration keeps the binary dependency-free; the handler only
+/// stores into a static atomic (async-signal-safe), and a watcher
+/// thread bridges that flag into the scheduler's [`obs::CancelToken`].
+#[cfg(unix)]
+mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::Release);
+    }
+
+    /// Installs the handlers and returns the token the watcher thread
+    /// cancels once a signal lands.
+    pub fn install() -> obs::CancelToken {
+        let token = obs::CancelToken::new();
+        unsafe {
+            let handler = on_signal as *const () as usize;
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        let bridge = token.clone();
+        std::thread::spawn(move || loop {
+            if INTERRUPTED.load(Ordering::Acquire) {
+                bridge.cancel();
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+        token
+    }
+}
+
+#[cfg(not(unix))]
+mod interrupt {
+    /// No signal wiring off Unix; the token simply never fires.
+    pub fn install() -> obs::CancelToken {
+        obs::CancelToken::new()
+    }
+}
+
 fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
     let [path] = cli.positional.as_slice() else {
         return Err("run needs exactly one scenario file".into());
@@ -149,7 +210,9 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
     if cli.trace.is_some() {
         obs::trace::enable_default();
     }
-    let summary = run_scenario(&sc, &cli.opts).map_err(|e| e.to_string())?;
+    let mut opts = cli.opts.clone();
+    opts.cancel = Some(interrupt::install());
+    let summary = run_scenario(&sc, &opts).map_err(|e| e.to_string())?;
     if let Some(trace_path) = &cli.trace {
         obs::trace::disable();
         obs::trace::write_to(trace_path)
@@ -195,6 +258,7 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
     println!("manifest: {}", manifest.display());
 
     if !summary.ok() {
+        let mut cancelled = false;
         for s in &summary.stages {
             if let Some(err) = match &s.status {
                 orchestrator::StageStatus::Failed(m) => Some(m.clone()),
@@ -202,12 +266,27 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
                     Some(format!("timed out after {l} seconds"))
                 }
                 orchestrator::StageStatus::Skipped(w) => Some(w.clone()),
-                _ => None,
+                orchestrator::StageStatus::Cancelled(w) => {
+                    cancelled = true;
+                    Some(w.clone())
+                }
+                orchestrator::StageStatus::Ran | orchestrator::StageStatus::Cached => None,
             } {
                 eprintln!("error: stage {}: {err}", s.id);
             }
         }
-        return Ok(ExitCode::from(1));
+        if cancelled {
+            eprintln!(
+                "run interrupted; completed stages and campaign units are \
+                 checkpointed — rerun the same command to resume"
+            );
+            return Ok(ExitCode::from(1));
+        }
+        if cli.keep_going {
+            println!("--keep-going: {failed} stage(s) failed; not failing the run");
+        } else {
+            return Ok(ExitCode::from(1));
+        }
     }
     if cli.expect_cached && (summary.executed > 0 || summary.cache_misses > 0) {
         eprintln!(
@@ -340,9 +419,12 @@ fn cmd_bench(cli: &Cli) -> Result<ExitCode, String> {
         cli.threshold
     );
     for l in &lines {
-        let delta = match l.delta_pct {
-            Some(d) => format!("{d:+8.1}%"),
-            None => "     new".to_string(),
+        let delta = match (l.delta_pct, l.base) {
+            (Some(d), _) => format!("{d:+8.1}%"),
+            // A baseline exists but no meaningful ratio (zero or
+            // non-finite endpoint) — distinct from a brand-new metric.
+            (None, Some(_)) => "     n/a".to_string(),
+            (None, None) => "     new".to_string(),
         };
         let verdict = if l.regressed { "REGRESSED" } else { "ok" };
         println!("  {:<36} {:>14.4} {delta}  {verdict}", l.name, l.current);
@@ -386,6 +468,10 @@ fn cmd_gc(cli: &Cli) -> Result<ExitCode, String> {
         return Err("gc needs at least one scenario file (its reachable keys are kept)".into());
     }
     let store = ArtifactStore::new(cli.opts.results_dir.join("cas"));
+    // Snapshot the scan start *before* planning: anything a concurrent
+    // `run` writes after this instant is spared even if it is not in
+    // the keep set, closing the scan-to-unlink race.
+    let cutoff = std::time::SystemTime::now();
     let mut keep = std::collections::BTreeSet::new();
     for path in &cli.positional {
         let sc = load(path)?;
@@ -396,13 +482,14 @@ fn cmd_gc(cli: &Cli) -> Result<ExitCode, String> {
         }
     }
     let report = store
-        .gc_keep(&keep, cli.dry_run)
+        .gc_keep_with_cutoff(&keep, cli.dry_run, Some(cutoff))
         .map_err(|e| format!("gc: {e}"))?;
     println!(
-        "gc{}: kept {}, removed {}, freed {} bytes",
+        "gc{}: kept {}, removed {}, spared {} newer than the scan, freed {} bytes",
         if cli.dry_run { " (dry run)" } else { "" },
         report.kept,
         report.removed,
+        report.skipped_fresh,
         report.bytes_freed
     );
     Ok(ExitCode::SUCCESS)

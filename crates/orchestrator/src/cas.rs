@@ -27,6 +27,8 @@ use obs::Json;
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
 
 /// Envelope schema version, bumped on breaking layout changes (which
 /// invalidates every cached artifact — old entries become misses).
@@ -65,6 +67,9 @@ pub struct GcReport {
     pub removed: usize,
     /// Bytes freed by the removals.
     pub bytes_freed: u64,
+    /// Unreferenced entries spared because they were written after the
+    /// gc's cutoff instant (a concurrent `run` may own them).
+    pub skipped_fresh: usize,
 }
 
 /// A flat directory of content-addressed artifacts.
@@ -182,21 +187,155 @@ impl ArtifactStore {
     /// Removes every entry whose key is not in `keep` (corrupt entries
     /// included — they can never be hits). When `dry_run` is set nothing
     /// is deleted; the report describes what *would* happen.
+    ///
+    /// Checkpoint sub-entries (`<key>.u<index>`, see [`unit_key`]) are
+    /// reachable whenever their base stage key is kept, so an interrupted
+    /// campaign's partial progress survives a gc of its scenario.
     pub fn gc_keep(&self, keep: &BTreeSet<String>, dry_run: bool) -> io::Result<GcReport> {
+        self.gc_keep_with_cutoff(keep, dry_run, None)
+    }
+
+    /// [`ArtifactStore::gc_keep`] with a freshness cutoff: unreferenced
+    /// entries whose mtime is strictly after `cutoff` are *skipped*, not
+    /// removed. The caller captures the cutoff **before** computing the
+    /// keep set, which closes the scan-to-unlink race against a
+    /// concurrent `run` — an entry that appeared after the keep set was
+    /// planned cannot be in it, but is not garbage either.
+    pub fn gc_keep_with_cutoff(
+        &self,
+        keep: &BTreeSet<String>,
+        dry_run: bool,
+        cutoff: Option<SystemTime>,
+    ) -> io::Result<GcReport> {
         let mut report = GcReport::default();
         for row in self.ls() {
-            let reachable = row.kind.is_some() && keep.contains(&row.key);
+            let reachable = row.kind.is_some()
+                && (keep.contains(&row.key)
+                    || checkpoint_base(&row.key).is_some_and(|base| keep.contains(base)));
             if reachable {
                 report.kept += 1;
-            } else {
-                report.removed += 1;
-                report.bytes_freed += row.bytes;
-                if !dry_run {
-                    self.remove(&row.key)?;
+                continue;
+            }
+            if let Some(cutoff) = cutoff {
+                let fresh = std::fs::metadata(self.path_for(&row.key))
+                    .and_then(|m| m.modified())
+                    .map(|mtime| mtime > cutoff)
+                    .unwrap_or(false);
+                if fresh {
+                    report.skipped_fresh += 1;
+                    continue;
                 }
+            }
+            report.removed += 1;
+            report.bytes_freed += row.bytes;
+            if !dry_run {
+                self.remove(&row.key)?;
             }
         }
         Ok(report)
+    }
+}
+
+/// The sub-key filing one campaign unit's checkpoint under its stage
+/// key: `<key>.u<index>`. Unit entries live next to full stage entries
+/// in the same store; [`checkpoint_base`] recovers the stage key.
+pub fn unit_key(key: &str, index: usize) -> String {
+    format!("{key}.u{index}")
+}
+
+/// The stage key a checkpoint sub-key belongs to, when `key` has the
+/// `<stage>.u<digits>` shape produced by [`unit_key`]; `None` for plain
+/// stage keys.
+pub fn checkpoint_base(key: &str) -> Option<&str> {
+    let (base, digits) = key.rsplit_once(".u")?;
+    if !base.is_empty() && !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+        Some(base)
+    } else {
+        None
+    }
+}
+
+/// Streaming per-unit checkpoints for one long-running stage.
+///
+/// Completed campaign units are stored in the artifact store under
+/// [`unit_key`] sub-keys of the stage's cache key, as they finish. Since
+/// the stage key already fingerprints kind, params, scale, and the whole
+/// upstream cone, a unit checkpoint can only ever be replayed into the
+/// *identical* computation — resuming after a crash is bit-identical to
+/// an uninterrupted run by construction.
+///
+/// All methods take `&self` and are thread-safe: campaign workers load
+/// and store units concurrently. Storage is best-effort — an I/O failure
+/// costs recomputation later, never correctness.
+#[derive(Debug)]
+pub struct StageCheckpoint {
+    store: ArtifactStore,
+    key: String,
+    kind: String,
+    resumed: AtomicU64,
+    stored: AtomicU64,
+}
+
+impl StageCheckpoint {
+    /// A checkpoint for the stage with cache key `key`; unit entries are
+    /// tagged with the kind `<stage kind>.unit`.
+    pub fn new(store: ArtifactStore, key: &str, stage_kind: &str) -> Self {
+        Self {
+            store,
+            key: key.to_string(),
+            kind: format!("{stage_kind}.unit"),
+            resumed: AtomicU64::new(0),
+            stored: AtomicU64::new(0),
+        }
+    }
+
+    /// The stage cache key the checkpoint is filed under.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// Loads unit `index`'s checkpointed payload, if present and intact
+    /// (corruption reads as a miss, exactly like full stage entries).
+    pub fn load_unit(&self, index: usize) -> Option<Json> {
+        let entry = self.store.get(&unit_key(&self.key, index))?;
+        self.resumed.fetch_add(1, Ordering::Relaxed);
+        Some(entry.payload)
+    }
+
+    /// Stores unit `index`'s payload. Best-effort: failures are swallowed
+    /// (the unit simply recomputes on the next resume).
+    pub fn store_unit(&self, index: usize, payload: &Json) {
+        if self
+            .store
+            .put(&unit_key(&self.key, index), &self.kind, payload)
+            .is_ok()
+        {
+            self.stored.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Units served from the checkpoint so far.
+    pub fn resumed(&self) -> u64 {
+        self.resumed.load(Ordering::Relaxed)
+    }
+
+    /// Units written to the checkpoint so far.
+    pub fn stored(&self) -> u64 {
+        self.stored.load(Ordering::Relaxed)
+    }
+
+    /// Removes every unit entry of this stage (called once the full
+    /// stage artifact lands — the sub-entries are then redundant).
+    /// Returns the number of entries removed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for row in self.store.ls() {
+            if checkpoint_base(&row.key) == Some(self.key.as_str()) {
+                self.store.remove(&row.key)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
     }
 }
 
@@ -252,6 +391,94 @@ mod tests {
         std::fs::write(&path, &full).unwrap();
         std::fs::rename(&path, store.path_for("k2")).unwrap();
         assert!(store.get("k2").is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn unit_keys_round_trip_through_checkpoint_base() {
+        assert_eq!(unit_key("abc123", 7), "abc123.u7");
+        assert_eq!(checkpoint_base("abc123.u7"), Some("abc123"));
+        assert_eq!(checkpoint_base("abc123.u42"), Some("abc123"));
+        // Not unit keys: no suffix, empty digits, non-digits, bare ".u1".
+        assert_eq!(checkpoint_base("abc123"), None);
+        assert_eq!(checkpoint_base("abc123.u"), None);
+        assert_eq!(checkpoint_base("abc123.unit"), None);
+        assert_eq!(checkpoint_base(".u1"), None);
+        // Nested: a unit of a key that itself ends like a unit key peels
+        // one layer only.
+        assert_eq!(checkpoint_base("k.u1.u2"), Some("k.u1"));
+    }
+
+    #[test]
+    fn checkpoint_stores_resumes_and_clears_units() {
+        let store = temp_store("ckpt");
+        let cp = StageCheckpoint::new(store.clone(), "stagekey", "chip_campaign");
+        assert!(cp.load_unit(0).is_none());
+        cp.store_unit(0, &payload(1.0));
+        cp.store_unit(3, &payload(2.0));
+        assert_eq!(cp.stored(), 2);
+        assert_eq!(cp.load_unit(0), Some(payload(1.0)));
+        assert_eq!(cp.load_unit(3), Some(payload(2.0)));
+        assert!(cp.load_unit(1).is_none());
+        assert_eq!(cp.resumed(), 2);
+
+        // Unit entries verify like any CAS entry: corruption is a miss.
+        let path = store.path_for("stagekey.u0");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("1", "9")).unwrap();
+        assert!(cp.load_unit(0).is_none());
+
+        // A sibling stage's units are untouched by clear().
+        let other = StageCheckpoint::new(store.clone(), "otherkey", "chip_campaign");
+        other.store_unit(0, &payload(5.0));
+        assert_eq!(cp.clear().unwrap(), 2);
+        assert!(cp.load_unit(3).is_none());
+        assert_eq!(other.load_unit(0), Some(payload(5.0)));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_keeps_unit_entries_of_kept_stages() {
+        let store = temp_store("gc_units");
+        store.put("stage_a", "unit", &payload(1.0)).unwrap();
+        let cp_a = StageCheckpoint::new(store.clone(), "stage_a", "k");
+        cp_a.store_unit(0, &payload(10.0));
+        let cp_b = StageCheckpoint::new(store.clone(), "stage_b", "k");
+        cp_b.store_unit(0, &payload(20.0));
+
+        let keep: BTreeSet<String> = ["stage_a".to_string()].into();
+        let report = store.gc_keep(&keep, false).unwrap();
+        // stage_a and its unit survive; stage_b's orphan unit goes.
+        assert_eq!((report.kept, report.removed), (2, 1));
+        assert!(store.get("stage_a.u0").is_some());
+        assert!(store.get("stage_b.u0").is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_cutoff_spares_entries_written_after_the_scan() {
+        let store = temp_store("gc_race");
+        store.put("old", "unit", &payload(1.0)).unwrap();
+        // The gc plans its keep set here...
+        let cutoff = SystemTime::now();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        // ...while a concurrent run writes a fresh entry the plan never
+        // saw. Without the cutoff it would be collected as unreachable.
+        store.put("fresh", "unit", &payload(2.0)).unwrap();
+
+        let keep = BTreeSet::new();
+        let report = store
+            .gc_keep_with_cutoff(&keep, false, Some(cutoff))
+            .unwrap();
+        assert_eq!((report.removed, report.skipped_fresh), (1, 1));
+        assert!(store.get("old").is_none());
+        assert!(store.get("fresh").is_some(), "fresh entry was collected");
+
+        // Without a cutoff (the old behavior) the fresh entry is fair
+        // game once it really is unreferenced garbage.
+        let report = store.gc_keep(&keep, false).unwrap();
+        assert_eq!(report.removed, 1);
+        assert!(store.get("fresh").is_none());
         let _ = std::fs::remove_dir_all(store.root());
     }
 

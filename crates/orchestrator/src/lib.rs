@@ -41,7 +41,9 @@ pub mod spec;
 pub mod stage;
 
 pub use bench::{compare, BenchReport, CompareLine, Direction};
-pub use cas::{ArtifactStore, CasEntry, CasListing, GcReport};
+pub use cas::{
+    checkpoint_base, unit_key, ArtifactStore, CasEntry, CasListing, GcReport, StageCheckpoint,
+};
 pub use hash::content_hash;
 pub use sched::{
     plan_scenario, run_scenario, stage_key, PlanEntry, RunOptions, RunSummary, StageResult,

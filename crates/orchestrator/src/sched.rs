@@ -31,17 +31,18 @@
 //! was recomputed lives in the separate `execution` section, which is
 //! why a fully-cached rerun reproduces the fingerprint bit-for-bit.
 
-use crate::cas::ArtifactStore;
+use crate::cas::{ArtifactStore, StageCheckpoint};
 use crate::hash::content_hash;
 use crate::spec::{scale_to_json, Scenario, SpecError};
 use crate::stage::{self, StageCtx, STAGE_SCHEMA};
 use bench_harness::RunScale;
-use obs::{Json, MetricsRegistry};
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use obs::{CancelToken, Json, MetricsRegistry};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Run-manifest schema version.
@@ -64,6 +65,11 @@ pub struct RunOptions {
     pub scale_override: Option<RunScale>,
     /// Print a progress line per completed stage.
     pub verbose: bool,
+    /// Cooperative cancellation (the CLI's SIGINT/SIGTERM bridge). Once
+    /// the token is set the scheduler stops launching, gives in-flight
+    /// stages a short grace period to flush their checkpoints, marks the
+    /// rest `Cancelled`, and returns a complete (but failed) summary.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RunOptions {
@@ -74,6 +80,7 @@ impl Default for RunOptions {
             use_cache: true,
             scale_override: None,
             verbose: false,
+            cancel: None,
         }
     }
 }
@@ -91,6 +98,10 @@ pub enum StageStatus {
     TimedOut(f64),
     /// Never started because an upstream stage failed or timed out.
     Skipped(String),
+    /// The run was interrupted before the stage could produce a payload.
+    /// Unlike `Failed`, nothing is wrong with the stage — a rerun picks
+    /// up from its checkpoints.
+    Cancelled(String),
 }
 
 impl StageStatus {
@@ -108,6 +119,7 @@ impl StageStatus {
             StageStatus::Failed(_) => "failed",
             StageStatus::TimedOut(_) => "timeout",
             StageStatus::Skipped(_) => "skipped",
+            StageStatus::Cancelled(_) => "cancelled",
         }
     }
 
@@ -119,6 +131,7 @@ impl StageStatus {
             StageStatus::Failed(_) => "FAIL",
             StageStatus::TimedOut(_) => "TIMEOUT",
             StageStatus::Skipped(_) => "skip",
+            StageStatus::Cancelled(_) => "CANCEL",
         }
     }
 }
@@ -137,8 +150,12 @@ pub struct StageResult {
     pub artifact: Option<String>,
     /// How the stage ended.
     pub status: StageStatus,
-    /// Stage wall clock (0 for cache hits and skips).
+    /// Stage wall clock, summed over every attempt (0 for cache hits
+    /// and skips).
     pub seconds: f64,
+    /// Times the stage was launched (0 for cache hits and skips; > 1
+    /// means the retry budget was used).
+    pub attempts: u32,
 }
 
 /// The complete record of one scheduler invocation.
@@ -211,6 +228,7 @@ impl RunSummary {
                     Json::Str(format!("timed out after {limit} seconds")),
                 ),
                 StageStatus::Skipped(why) => errors.insert(&s.id, Json::Str(why.clone())),
+                StageStatus::Cancelled(why) => errors.insert(&s.id, Json::Str(why.clone())),
                 _ => {}
             }
             let mut e = Json::object();
@@ -221,6 +239,7 @@ impl RunSummary {
             };
             e.insert("source", Json::Str(source.to_string()));
             e.insert("seconds", Json::Num(s.seconds));
+            e.insert("attempts", Json::Num(f64::from(s.attempts)));
             per_stage.insert(&s.id, e);
         }
         let mut execution = Json::object();
@@ -324,12 +343,41 @@ pub fn plan_scenario(sc: &Scenario, opts: &RunOptions) -> Result<Vec<PlanEntry>,
     Ok(plan)
 }
 
-/// Internal: what a worker thread reports back.
-type StageReport = (usize, Result<Json, String>, f64);
+/// Internal: what a worker thread reports back — stage index, launch
+/// generation (so reports from abandoned attempts are recognizably
+/// stale), result, attempt wall clock.
+type StageReport = (usize, u64, Result<Json, String>, f64);
+
+/// Internal: one in-flight stage attempt.
+struct Running {
+    /// Monotonic launch id; a report whose generation does not match the
+    /// stage's current one is from a timed-out/retried attempt.
+    generation: u64,
+    launched: Instant,
+    deadline: Option<Instant>,
+}
+
+/// How long the scheduler is willing to block while a cancel token could
+/// flip underneath it.
+const CANCEL_POLL: Duration = Duration::from_millis(100);
+
+/// Grace period after cancellation: in-flight stages get this long to
+/// notice the token, flush their unit checkpoints, and report back
+/// before they are abandoned.
+const CANCEL_GRACE: Duration = Duration::from_secs(2);
 
 /// Runs a scenario to completion. Never aborts on stage failure — every
 /// stage that *can* produce a payload does, and the summary records the
 /// rest. Returns `Err` only for spec-level problems (invalid scenario).
+///
+/// Failed or timed-out attempts of stages that declare `retries` are
+/// re-launched after their `backoff_ms`, up to the budget; only the
+/// final failure cascades `Skipped` to dependents. Retries are purely an
+/// execution policy — they never enter cache keys or the run
+/// fingerprint. When [`RunOptions::cancel`] fires, the scheduler stops
+/// launching, drains in-flight stages for [`CANCEL_GRACE`], marks
+/// everything unfinished `Cancelled`, and still returns a complete
+/// summary (so a partial manifest can be written).
 pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, SpecError> {
     let order = sc.validate()?;
     let scale = opts.scale_override.unwrap_or(sc.scale);
@@ -359,19 +407,27 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
     let mut digests: Vec<Option<String>> = vec![None; n];
     let mut payloads: Vec<Option<Json>> = vec![None; n];
     let mut seconds: Vec<f64> = vec![0.0; n];
+    let mut attempts: Vec<u32> = vec![0; n];
     let mut metrics = MetricsRegistry::new();
     let (mut hits, mut misses, mut executed) = (0u64, 0u64, 0u64);
+    let mut retries_total = 0u64;
 
     let (tx, rx) = mpsc::channel::<StageReport>();
     // Ready queue seeded in topological order; later insertions happen
     // as dependencies resolve.
     let mut ready: VecDeque<usize> = order.iter().copied().filter(|&i| remaining[i] == 0).collect();
-    // idx → (launch instant, optional deadline).
-    let mut running: HashMap<usize, (Instant, Option<Instant>)> = HashMap::new();
-    // Timed-out stages whose detached threads may still report: their
-    // late results must be dropped, not cached.
-    let mut cancelled: HashSet<usize> = HashSet::new();
+    let mut running: HashMap<usize, Running> = HashMap::new();
+    // Failed/timed-out attempts waiting out their backoff: (due, stage).
+    let mut pending_retry: Vec<(Instant, usize)> = Vec::new();
+    // One checkpoint per launched stage (shared across its attempts: a
+    // timed-out attempt's detached thread keeps streaming units the
+    // retry then resumes).
+    let mut checkpoints: HashMap<usize, Arc<StageCheckpoint>> = HashMap::new();
+    let mut next_generation = 0u64;
     let mut finished = 0usize;
+    // Latched once the cancel token is observed set.
+    let mut cancelling = false;
+    let mut grace_deadline: Option<Instant> = None;
 
     // Marks a stage terminal and cascades skips to its dependents.
     // Declared as a macro rather than a closure because it re-borrows
@@ -390,6 +446,7 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                         StageStatus::Failed(m) => m.clone(),
                         StageStatus::TimedOut(l) => format!("budget {l}s"),
                         StageStatus::Skipped(w) => w.clone(),
+                        StageStatus::Cancelled(w) => w.clone(),
                         StageStatus::Cached => String::new(),
                     }
                 );
@@ -423,65 +480,172 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
     }
 
     while finished < n {
-        // Launch ready stages up to the concurrency cap.
-        while running.len() < jobs {
-            let Some(i) = ready.pop_front() else { break };
-            if status[i].is_some() {
-                continue; // skipped while queued
-            }
-            let s = &sc.stages[i];
-            let mut inputs: BTreeMap<String, Json> = BTreeMap::new();
-            let mut dep_digests: BTreeMap<String, String> = BTreeMap::new();
-            for d in &s.deps {
-                let j = index_of[d.as_str()];
-                inputs.insert(d.clone(), payloads[j].clone().expect("dep payload present"));
-                dep_digests.insert(d.clone(), digests[j].clone().expect("dep digest present"));
-            }
-            let key = stage_key(&s.kind, &s.params, scale, &dep_digests);
-            keys[i] = Some(key.clone());
+        // Latch cancellation the moment the token is observed set.
+        if !cancelling && opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            cancelling = true;
+            grace_deadline = Some(Instant::now() + CANCEL_GRACE);
+            obs::trace::instant("orchestrator", "run.cancelled");
+        }
 
-            if opts.use_cache {
-                if let Some(entry) = store.get(&key) {
-                    digests[i] = Some(entry.payload_hash);
-                    payloads[i] = Some(entry.payload);
-                    hits += 1;
-                    obs::trace::instant_with("orchestrator", || format!("cas.hit:{}", s.id));
-                    finish_stage!(i, StageStatus::Cached);
-                    continue;
+        if cancelling {
+            // Nothing new launches; queued work is terminally cancelled.
+            let queued_retries: Vec<usize> =
+                pending_retry.drain(..).map(|(_, i)| i).collect();
+            for i in queued_retries {
+                if status[i].is_none() {
+                    finish_stage!(
+                        i,
+                        StageStatus::Cancelled("run interrupted before retry".into())
+                    );
                 }
-                misses += 1;
-                obs::trace::instant_with("orchestrator", || format!("cas.miss:{}", s.id));
+            }
+            while let Some(i) = ready.pop_front() {
+                if status[i].is_none() {
+                    finish_stage!(
+                        i,
+                        StageStatus::Cancelled("run interrupted before launch".into())
+                    );
+                }
+            }
+            if running.is_empty() {
+                for i in 0..n {
+                    if status[i].is_none() {
+                        finish_stage!(i, StageStatus::Cancelled("run interrupted".into()));
+                    }
+                }
+                continue;
+            }
+            if grace_deadline.is_some_and(|d| Instant::now() >= d) {
+                // Grace elapsed: abandon whatever is still in flight (its
+                // units are checkpointed; late reports are stale by
+                // generation).
+                let in_flight: Vec<usize> = running.keys().copied().collect();
+                for i in in_flight {
+                    let r = running.remove(&i).expect("in-flight stage was running");
+                    seconds[i] += r.launched.elapsed().as_secs_f64();
+                    finish_stage!(
+                        i,
+                        StageStatus::Cancelled("run interrupted (grace elapsed)".into())
+                    );
+                }
+                continue;
+            }
+        } else {
+            // Promote retries whose backoff has elapsed.
+            let now = Instant::now();
+            let mut j = 0;
+            while j < pending_retry.len() {
+                if pending_retry[j].0 <= now {
+                    let (_, i) = pending_retry.swap_remove(j);
+                    ready.push_back(i);
+                } else {
+                    j += 1;
+                }
             }
 
-            let deadline = s
-                .timeout_seconds
-                .or(sc.default_timeout_seconds)
-                .map(|t| Instant::now() + Duration::from_secs_f64(t));
-            running.insert(i, (Instant::now(), deadline));
-            let tx = tx.clone();
-            let kind = s.kind.clone();
-            let params = s.params.clone();
-            let stage_id = s.id.clone();
-            std::thread::spawn(move || {
-                let _stage_span =
-                    obs::trace::span_with("orchestrator", || format!("stage:{stage_id}"));
-                let t0 = Instant::now();
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    stage::execute(
-                        &kind,
-                        &StageCtx {
-                            params: &params,
-                            inputs: &inputs,
-                            scale,
-                        },
+            // Launch ready stages up to the concurrency cap.
+            while running.len() < jobs {
+                let Some(i) = ready.pop_front() else { break };
+                if status[i].is_some() {
+                    continue; // skipped while queued
+                }
+                let s = &sc.stages[i];
+                let mut inputs: BTreeMap<String, Json> = BTreeMap::new();
+                let mut dep_digests: BTreeMap<String, String> = BTreeMap::new();
+                for d in &s.deps {
+                    let j = index_of[d.as_str()];
+                    inputs.insert(d.clone(), payloads[j].clone().expect("dep payload present"));
+                    dep_digests.insert(d.clone(), digests[j].clone().expect("dep digest present"));
+                }
+                let key = stage_key(&s.kind, &s.params, scale, &dep_digests);
+                keys[i] = Some(key.clone());
+
+                if opts.use_cache && attempts[i] == 0 {
+                    if let Some(entry) = store.get(&key) {
+                        digests[i] = Some(entry.payload_hash);
+                        payloads[i] = Some(entry.payload);
+                        hits += 1;
+                        obs::trace::instant_with("orchestrator", || format!("cas.hit:{}", s.id));
+                        finish_stage!(i, StageStatus::Cached);
+                        continue;
+                    }
+                    misses += 1;
+                    obs::trace::instant_with("orchestrator", || format!("cas.miss:{}", s.id));
+                }
+
+                let checkpoint = if opts.use_cache {
+                    Some(
+                        checkpoints
+                            .entry(i)
+                            .or_insert_with(|| {
+                                Arc::new(StageCheckpoint::new(store.clone(), &key, &s.kind))
+                            })
+                            .clone(),
                     )
-                }))
-                .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
-                let _ = tx.send((i, result, t0.elapsed().as_secs_f64()));
-            });
+                } else {
+                    None
+                };
+                let cancel = opts.cancel.clone().unwrap_or_default();
+                attempts[i] += 1;
+                next_generation += 1;
+                let generation = next_generation;
+                let deadline = s
+                    .timeout_seconds
+                    .or(sc.default_timeout_seconds)
+                    .map(|t| Instant::now() + Duration::from_secs_f64(t));
+                running.insert(
+                    i,
+                    Running {
+                        generation,
+                        launched: Instant::now(),
+                        deadline,
+                    },
+                );
+                let tx = tx.clone();
+                let kind = s.kind.clone();
+                let params = s.params.clone();
+                let stage_id = s.id.clone();
+                std::thread::spawn(move || {
+                    let _stage_span =
+                        obs::trace::span_with("orchestrator", || format!("stage:{stage_id}"));
+                    let t0 = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        stage::execute(
+                            &kind,
+                            &StageCtx {
+                                params: &params,
+                                inputs: &inputs,
+                                scale,
+                                checkpoint,
+                                cancel,
+                            },
+                        )
+                    }))
+                    .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
+                    let _ = tx.send((i, generation, result, t0.elapsed().as_secs_f64()));
+                });
+            }
         }
 
         if running.is_empty() {
+            if cancelling {
+                continue;
+            }
+            if !pending_retry.is_empty() {
+                // Idle until the earliest backoff elapses (capped so a
+                // cancel token is still noticed promptly).
+                let due = pending_retry
+                    .iter()
+                    .map(|&(t, _)| t)
+                    .min()
+                    .expect("pending_retry is non-empty");
+                let mut wait = due.saturating_duration_since(Instant::now());
+                if opts.cancel.is_some() {
+                    wait = wait.min(CANCEL_POLL);
+                }
+                std::thread::sleep(wait.max(Duration::from_millis(1)));
+                continue;
+            }
             if ready.is_empty() && finished < n {
                 // Defensive: validate() guarantees this cannot happen.
                 for s in status.iter_mut().filter(|s| s.is_none()) {
@@ -492,21 +656,30 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
             continue;
         }
 
-        // Block until a report arrives or the earliest deadline passes.
+        // Block until a report arrives, the earliest deadline passes,
+        // the earliest retry comes due, or the next cancel poll.
         let now = Instant::now();
-        let wait = running
+        let mut wait = running
             .values()
-            .filter_map(|(_, d)| *d)
+            .filter_map(|r| r.deadline)
             .map(|d| d.saturating_duration_since(now))
             .min()
             .unwrap_or(Duration::from_secs(3600));
+        if let Some(due) = pending_retry.iter().map(|&(t, _)| t).min() {
+            wait = wait.min(due.saturating_duration_since(now));
+        }
+        if opts.cancel.is_some() || cancelling {
+            wait = wait.min(CANCEL_POLL);
+        }
         match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
-            Ok((i, _, _)) if cancelled.contains(&i) => {
-                // Late report from a timed-out stage: discard, never cache.
-            }
-            Ok((i, result, secs)) => {
+            Ok((i, generation, result, secs)) => {
+                if running.get(&i).map(|r| r.generation) != Some(generation) {
+                    // Late report from an abandoned attempt: discard,
+                    // never cache.
+                    continue;
+                }
                 running.remove(&i);
-                seconds[i] = secs;
+                seconds[i] += secs;
                 match result {
                     Ok(payload) => {
                         executed += 1;
@@ -519,7 +692,39 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                         };
                         digests[i] = Some(digest);
                         payloads[i] = Some(payload);
+                        // The full artifact is on disk; this stage's unit
+                        // checkpoints are redundant now.
+                        if let Some(cp) = checkpoints.get(&i) {
+                            let _ = cp.clear();
+                        }
                         finish_stage!(i, StageStatus::Ran);
+                    }
+                    // Check the token too, not just the latch: the cancel
+                    // may have landed after this iteration's latch check
+                    // but before the stage's error report arrived.
+                    Err(msg)
+                        if cancelling
+                            || opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) =>
+                    {
+                        // A stage erroring while the run winds down is
+                        // (almost always) the cancellation itself
+                        // surfacing; either way, retrying is pointless.
+                        finish_stage!(i, StageStatus::Cancelled(msg));
+                    }
+                    Err(msg) if attempts[i] <= sc.stages[i].retries => {
+                        retries_total += 1;
+                        let backoff = sc.stages[i].backoff_ms;
+                        pending_retry
+                            .push((Instant::now() + Duration::from_secs_f64(backoff / 1000.0), i));
+                        obs::trace::instant_with("orchestrator", || {
+                            format!("stage.retry:{}", sc.stages[i].id)
+                        });
+                        if opts.verbose {
+                            println!(
+                                "{:>8}  {:<24} attempt {} failed ({msg}); retry in {backoff:.0}ms",
+                                "retry", sc.stages[i].id, attempts[i]
+                            );
+                        }
                     }
                     Err(msg) => finish_stage!(i, StageStatus::Failed(msg)),
                 }
@@ -528,18 +733,33 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                 let now = Instant::now();
                 let expired: Vec<usize> = running
                     .iter()
-                    .filter(|(_, (_, d))| d.is_some_and(|d| d <= now))
+                    .filter(|(_, r)| r.deadline.is_some_and(|d| d <= now))
                     .map(|(&i, _)| i)
                     .collect();
                 for i in expired {
-                    let (launched, _) = running.remove(&i).expect("expired stage was running");
-                    seconds[i] = launched.elapsed().as_secs_f64();
-                    cancelled.insert(i);
+                    let r = running.remove(&i).expect("expired stage was running");
+                    seconds[i] += r.launched.elapsed().as_secs_f64();
                     let limit = sc.stages[i]
                         .timeout_seconds
                         .or(sc.default_timeout_seconds)
                         .unwrap_or(0.0);
-                    finish_stage!(i, StageStatus::TimedOut(limit));
+                    if !cancelling && attempts[i] <= sc.stages[i].retries {
+                        retries_total += 1;
+                        let backoff = sc.stages[i].backoff_ms;
+                        pending_retry
+                            .push((Instant::now() + Duration::from_secs_f64(backoff / 1000.0), i));
+                        obs::trace::instant_with("orchestrator", || {
+                            format!("stage.retry:{}", sc.stages[i].id)
+                        });
+                        if opts.verbose {
+                            println!(
+                                "{:>8}  {:<24} attempt {} hit its {limit}s budget; retry in {backoff:.0}ms",
+                                "retry", sc.stages[i].id, attempts[i]
+                            );
+                        }
+                    } else {
+                        finish_stage!(i, StageStatus::TimedOut(limit));
+                    }
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -566,6 +786,18 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
         "orchestrator.stages.skipped",
         terminal(|s| matches!(s, StageStatus::Skipped(_))),
     );
+    metrics.set_counter(
+        "orchestrator.stages.cancelled",
+        terminal(|s| matches!(s, StageStatus::Cancelled(_))),
+    );
+    metrics.set_counter("orchestrator.stages.retried", retries_total);
+    let (mut ckpt_resumed, mut ckpt_stored) = (0u64, 0u64);
+    for cp in checkpoints.values() {
+        ckpt_resumed += cp.resumed();
+        ckpt_stored += cp.stored();
+    }
+    metrics.set_counter("orchestrator.checkpoint.resumed_units", ckpt_resumed);
+    metrics.set_counter("orchestrator.checkpoint.stored_units", ckpt_stored);
     metrics.set_gauge("orchestrator.run.wall_seconds", started.elapsed().as_secs_f64());
 
     let stages = order
@@ -577,6 +809,7 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
             artifact: digests[i].clone(),
             status: status[i].clone().expect("all stages terminal"),
             seconds: seconds[i],
+            attempts: attempts[i],
         })
         .collect();
 

@@ -24,10 +24,14 @@
 //! * `sleep` / `fail` — timeout- and failure-injection kinds for the
 //!   scheduler's own test suite.
 
+use crate::cas::StageCheckpoint;
 use bench_harness::RunScale;
-use obs::Json;
+use obs::{CancelToken, Json};
 use std::collections::BTreeMap;
-use t3cache::chip::ChipPopulation;
+use std::sync::Arc;
+use t3cache::campaign::{map_indexed_with_hooks, worker_count, UnitHooks};
+use t3cache::chip::ChipModel;
+use vlsi::montecarlo::ChipFactory;
 use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
 
@@ -37,7 +41,14 @@ use vlsi::variation::VariationCorner;
 pub const STAGE_SCHEMA: u64 = 1;
 
 /// The non-figure stage kinds.
-const BUILTIN_KINDS: [&str; 5] = ["chip_campaign", "retention_map", "report", "sleep", "fail"];
+const BUILTIN_KINDS: [&str; 6] = [
+    "chip_campaign",
+    "retention_map",
+    "report",
+    "sleep",
+    "fail",
+    "flaky",
+];
 
 /// Every known stage kind, sorted.
 pub fn known_kinds() -> Vec<&'static str> {
@@ -61,6 +72,15 @@ pub struct StageCtx<'a> {
     pub inputs: &'a BTreeMap<String, Json>,
     /// The scenario's run scale.
     pub scale: RunScale,
+    /// Per-unit checkpoint keyed on this stage's cache fingerprint, when
+    /// the scheduler is running with the cache enabled. Stages with a
+    /// campaign shape stream completed units into it and replay them on
+    /// the next attempt; other stages ignore it.
+    pub checkpoint: Option<Arc<StageCheckpoint>>,
+    /// Cooperative cancellation: long stages should poll this between
+    /// units and bail out with an `Err` once set. Never set in tests and
+    /// cached replans; the CLI's signal handler sets it on SIGINT/SIGTERM.
+    pub cancel: CancelToken,
 }
 
 impl StageCtx<'_> {
@@ -107,6 +127,7 @@ pub fn execute(kind: &str, ctx: &StageCtx<'_>) -> Result<Json, String> {
         "report" => report(ctx),
         "sleep" => sleep(ctx),
         "fail" => fail(ctx),
+        "flaky" => flaky(ctx),
         other => Err(format!("unknown stage kind {other:?}")),
     }
 }
@@ -135,7 +156,16 @@ fn figure_payload(kind: &str, out: bench_harness::figures::StageOutput) -> Json 
 /// the per-chip whole-cache retention times (ns) plus summary stats.
 /// Params: `node` (65nm/45nm/32nm, default 32nm), `corner`
 /// (none/typical/severe, default severe), `chips` (default
-/// `scale.mc_chips`), `seed` (default 20245).
+/// `scale.mc_chips`), `seed` (default 20245), `unit_sleep_ms` (default
+/// 0 — artificial per-chip delay, for crash-recovery tests that need a
+/// campaign slow enough to interrupt).
+///
+/// Each chip is one campaign unit: unit `i`'s randomness derives from
+/// `(seed, i)` alone inside [`ChipFactory`], so completed units stream
+/// into the stage checkpoint as they finish and replay bit-identically
+/// on resume. When the campaign is cancelled mid-run the stage returns
+/// an `Err` — partial results are never a payload, but every completed
+/// unit is already on disk.
 fn chip_campaign(ctx: &StageCtx<'_>) -> Result<Json, String> {
     let node: TechNode = ctx.str_param("node", "32nm")?.parse()?;
     let corner = match ctx.str_param("corner", "severe")?.as_str() {
@@ -149,10 +179,52 @@ fn chip_campaign(ctx: &StageCtx<'_>) -> Result<Json, String> {
         return Err(format!("param \"chips\" = {chips} out of range [1, 1e6]"));
     }
     let seed = ctx.u64_param("seed", 20_245)?;
+    let unit_sleep_ms = ctx.f64_param("unit_sleep_ms", 0.0)?;
+    if !(0.0..=60_000.0).contains(&unit_sleep_ms) {
+        return Err(format!(
+            "param \"unit_sleep_ms\" = {unit_sleep_ms} out of range [0, 60000]"
+        ));
+    }
 
-    let pop = ChipPopulation::generate(node, corner.params(), chips as u32, seed);
-    let retention_ns: Vec<f64> = pop.chips().iter().map(|c| c.cache_retention().ns()).collect();
+    let factory = ChipFactory::new(node, corner.params(), seed);
+    let n = chips as usize;
+    let checkpoint = ctx.checkpoint.as_deref();
+    let resume = |i: usize| {
+        checkpoint
+            .and_then(|cp| cp.load_unit(i))
+            .and_then(|unit| unit.get("retention_ns").and_then(Json::as_f64))
+    };
+    let persist = |i: usize, v: &f64| {
+        if let Some(cp) = checkpoint {
+            let mut unit = Json::object();
+            unit.insert("retention_ns", Json::Num(*v));
+            cp.store_unit(i, &unit);
+        }
+    };
+    let hooks = UnitHooks {
+        resume: Some(&resume),
+        persist: Some(&persist),
+        cancel: Some(&ctx.cancel),
+    };
+    let pacing = std::time::Duration::from_secs_f64(unit_sleep_ms / 1000.0);
+    let (slots, _report) = map_indexed_with_hooks(n, worker_count(), hooks, |i| {
+        if !pacing.is_zero() {
+            std::thread::sleep(pacing);
+        }
+        ChipModel::new(&factory.chip(i as u32)).cache_retention().ns()
+    });
+    let done = slots.iter().filter(|s| s.is_some()).count();
+    if done < n {
+        return Err(format!(
+            "cancelled after {done}/{n} units (completed units are checkpointed)"
+        ));
+    }
+    let retention_ns: Vec<f64> = slots.into_iter().flatten().collect();
     let mean = retention_ns.iter().sum::<f64>() / retention_ns.len() as f64;
+    // The ns → seconds → ns round trip is deliberate: it reproduces
+    // `ChipPopulation::median_cache_retention().ns()` bit-for-bit, so
+    // payloads match artifacts cached by earlier versions of this stage.
+    let median_ns = vlsi::units::Time::from_ns(vlsi::stats::median(&retention_ns)).ns();
 
     let mut p = Json::object();
     p.insert("kind", Json::Str("chip_campaign".into()));
@@ -164,7 +236,7 @@ fn chip_campaign(ctx: &StageCtx<'_>) -> Result<Json, String> {
         "retention_ns",
         Json::Arr(retention_ns.iter().map(|&v| Json::Num(v)).collect()),
     );
-    p.insert("median_ns", Json::Num(pop.median_cache_retention().ns()));
+    p.insert("median_ns", Json::Num(median_ns));
     p.insert("mean_ns", Json::Num(mean));
     p.insert("min_ns", Json::Num(bench_harness::min(&retention_ns)));
     p.insert("max_ns", Json::Num(bench_harness::max(&retention_ns)));
@@ -314,6 +386,28 @@ fn fail(ctx: &StageCtx<'_>) -> Result<Json, String> {
     }
 }
 
+/// `flaky`: deterministic *transient* failure injection for the
+/// scheduler's retry tests. The required `marker` param names a file:
+/// when it does not exist the stage creates it and fails (the first
+/// attempt); when it exists the stage succeeds (any retry). The success
+/// payload is constant, so the purity contract holds for the payload
+/// that actually lands in the cache.
+fn flaky(ctx: &StageCtx<'_>) -> Result<Json, String> {
+    let marker = ctx.str_param("marker", "")?;
+    if marker.is_empty() {
+        return Err("flaky needs a \"marker\" file path param".into());
+    }
+    if std::path::Path::new(&marker).exists() {
+        let mut p = Json::object();
+        p.insert("kind", Json::Str("flaky".into()));
+        Ok(p)
+    } else {
+        std::fs::write(&marker, b"first attempt\n")
+            .map_err(|e| format!("flaky cannot write marker {marker:?}: {e}"))?;
+        Err("injected transient failure (marker created; a retry succeeds)".into())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +417,8 @@ mod tests {
             params,
             inputs,
             scale: RunScale::QUICK,
+            checkpoint: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -400,6 +496,75 @@ mod tests {
             .unwrap();
         assert_eq!(compares.get("perf").unwrap().as_f64(), Some(0.97));
         assert!(compares.get("scheme.x").is_none());
+    }
+
+    #[test]
+    fn chip_campaign_checkpoints_and_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "pv3t1d_stage_ckpt_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = crate::cas::ArtifactStore::new(&dir);
+        let params = Json::parse(r#"{"chips": 6, "seed": 99, "corner": "typical"}"#).unwrap();
+        let inputs = BTreeMap::new();
+        let reference = execute("chip_campaign", &ctx(&params, &inputs)).unwrap();
+
+        // First checkpointed run computes and persists every unit.
+        let cp = Arc::new(StageCheckpoint::new(store.clone(), "stagekey", "chip_campaign"));
+        let c = StageCtx {
+            checkpoint: Some(cp.clone()),
+            ..ctx(&params, &inputs)
+        };
+        let first = execute("chip_campaign", &c).unwrap();
+        assert_eq!(first.render(), reference.render());
+        assert_eq!(cp.stored(), 6);
+
+        // Second run replays every unit from the checkpoint, bit-exactly.
+        let cp = Arc::new(StageCheckpoint::new(store, "stagekey", "chip_campaign"));
+        let c = StageCtx {
+            checkpoint: Some(cp.clone()),
+            ..ctx(&params, &inputs)
+        };
+        let second = execute("chip_campaign", &c).unwrap();
+        assert_eq!(second.render(), reference.render());
+        assert_eq!(cp.resumed(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_chip_campaign_is_a_stage_error() {
+        let params = Json::parse(r#"{"chips": 4, "seed": 1}"#).unwrap();
+        let inputs = BTreeMap::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let c = StageCtx {
+            cancel: token,
+            ..ctx(&params, &inputs)
+        };
+        let err = execute("chip_campaign", &c).unwrap_err();
+        assert!(err.contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn flaky_fails_once_then_succeeds() {
+        let marker = std::env::temp_dir().join(format!(
+            "pv3t1d_flaky_marker_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&marker);
+        let mut params = Json::object();
+        params.insert("marker", Json::Str(marker.display().to_string()));
+        let inputs = BTreeMap::new();
+        let first = execute("flaky", &ctx(&params, &inputs));
+        assert!(first.unwrap_err().contains("transient"));
+        let second = execute("flaky", &ctx(&params, &inputs)).unwrap();
+        assert_eq!(second.get("kind").and_then(Json::as_str), Some("flaky"));
+        let _ = std::fs::remove_file(&marker);
+
+        // Missing marker param is a configuration error.
+        let bare = Json::object();
+        assert!(execute("flaky", &ctx(&bare, &inputs)).is_err());
     }
 
     #[test]

@@ -197,6 +197,120 @@ fn independent_stages_run_concurrently() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn transient_failure_is_retried_to_success() {
+    let dir = temp_results("retry_ok");
+    std::fs::create_dir_all(&dir).unwrap();
+    let marker = dir.join("flaky.marker");
+    let mut sc = Scenario::new("retry_ok", bench_harness::RunScale::QUICK);
+    sc.stages.push(
+        StageSpec::new("wobbly", "flaky")
+            .with_param("marker", Json::Str(marker.display().to_string()))
+            .with_retries(2, 10.0),
+    );
+    sc.stages
+        .push(StageSpec::new("after", "sleep").with_deps(&["wobbly"]));
+
+    let summary = run_scenario(&sc, &opts(&dir)).unwrap();
+    assert!(summary.ok(), "{summary:?}");
+    assert_eq!(*status_of(&summary, "wobbly"), StageStatus::Ran);
+    let wobbly = summary.stages.iter().find(|s| s.id == "wobbly").unwrap();
+    assert_eq!(wobbly.attempts, 2, "one failure + one successful retry");
+    assert_eq!(summary.metrics.counter("orchestrator.stages.retried"), Some(1));
+    assert_eq!(summary.metrics.counter("orchestrator.stages.failed"), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_retries_fail_and_cascade() {
+    let dir = temp_results("retry_exhausted");
+    let mut sc = Scenario::new("retry_exhausted", bench_harness::RunScale::QUICK);
+    sc.stages.push(
+        StageSpec::new("hopeless", "fail")
+            .with_param("message", Json::Str("always broken".into()))
+            .with_retries(2, 5.0),
+    );
+    sc.stages
+        .push(StageSpec::new("downstream", "sleep").with_deps(&["hopeless"]));
+
+    let summary = run_scenario(&sc, &opts(&dir)).unwrap();
+    assert!(!summary.ok());
+    assert!(
+        matches!(status_of(&summary, "hopeless"), StageStatus::Failed(m) if m.contains("always broken"))
+    );
+    assert!(matches!(status_of(&summary, "downstream"), StageStatus::Skipped(_)));
+    let hopeless = summary.stages.iter().find(|s| s.id == "hopeless").unwrap();
+    assert_eq!(hopeless.attempts, 3, "initial attempt + two retries");
+    assert_eq!(summary.metrics.counter("orchestrator.stages.retried"), Some(2));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole acceptance behavior, in-process: cancel a chip campaign
+/// mid-flight, then rerun — the rerun resumes from the per-unit
+/// checkpoints and reproduces the exact fingerprint of a never-
+/// interrupted run.
+#[test]
+fn cancelled_campaign_resumes_to_an_identical_fingerprint() {
+    // Pin the campaign worker pool so the pacing below is predictable.
+    // (Other tests in this binary don't depend on the worker count.)
+    std::env::set_var("PV3T1D_WORKERS", "2");
+    let mut sc = Scenario::new("resume", bench_harness::RunScale::QUICK);
+    sc.stages.push(
+        StageSpec::new("chips", "chip_campaign")
+            .with_param("chips", Json::Num(10.0))
+            .with_param("seed", Json::Num(7.0))
+            .with_param("corner", Json::Str("severe".into()))
+            .with_param("unit_sleep_ms", Json::Num(100.0)),
+    );
+    sc.stages.push(StageSpec::new("map", "retention_map").with_deps(&["chips"]));
+
+    // Reference: a clean, uninterrupted run in its own results dir.
+    let ref_dir = temp_results("resume_ref");
+    let reference = run_scenario(&sc, &opts(&ref_dir)).unwrap();
+    assert!(reference.ok());
+
+    // Interrupted: cancel the token while units are still in flight.
+    let dir = temp_results("resume_cut");
+    let token = obs::CancelToken::new();
+    let trigger = token.clone();
+    let timer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        trigger.cancel();
+    });
+    let mut o = opts(&dir);
+    o.cancel = Some(token);
+    let interrupted = run_scenario(&sc, &o).unwrap();
+    timer.join().unwrap();
+    assert!(!interrupted.ok(), "the cancel must land mid-campaign");
+    assert!(
+        matches!(status_of(&interrupted, "chips"), StageStatus::Cancelled(_)),
+        "{interrupted:?}"
+    );
+
+    // Resume: same scenario, same results dir, no cancellation.
+    let resumed = run_scenario(&sc, &opts(&dir)).unwrap();
+    assert!(resumed.ok(), "{resumed:?}");
+    assert_eq!(
+        resumed.fingerprint(),
+        reference.fingerprint(),
+        "resumed run must be bit-identical to a never-interrupted one"
+    );
+    assert_eq!(
+        resumed.results_json().render(),
+        reference.results_json().render()
+    );
+    let replayed = resumed
+        .metrics
+        .counter("orchestrator.checkpoint.resumed_units")
+        .unwrap_or(0);
+    assert!(
+        replayed >= 1,
+        "at least one unit must come back from a checkpoint, got {replayed}"
+    );
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------
 // CLI (subprocess) tests
 // ---------------------------------------------------------------------
@@ -356,16 +470,20 @@ fn cli_usage_errors_exit_two() {
 
 #[test]
 fn checked_in_scenarios_validate() {
-    for name in ["quick.json", "paper_full.json"] {
+    for name in ["quick.json", "paper_full.json", "resume_smoke.json"] {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../../scenarios")
             .join(name);
         let sc = Scenario::load(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
         sc.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(!sc.stages.is_empty());
-        assert!(
-            sc.stages.iter().any(|s| s.kind == "report"),
-            "{name} should end in a report stage"
-        );
+        // The paper scenarios culminate in a report stage; the CI
+        // resume-smoke scenario is deliberately a short campaign slice.
+        if name != "resume_smoke.json" {
+            assert!(
+                sc.stages.iter().any(|s| s.kind == "report"),
+                "{name} should end in a report stage"
+            );
+        }
     }
 }

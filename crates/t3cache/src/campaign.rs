@@ -70,8 +70,12 @@ pub struct CampaignReport {
     /// Units each worker claimed off the shared counter (work-stealing
     /// balance; length = worker count).
     pub per_worker_units: Vec<usize>,
-    /// Per-unit execution times in seconds, indexed by unit.
+    /// Per-unit execution times in seconds, indexed by unit (0 for
+    /// resumed units — they were not recomputed).
     pub unit_seconds: Vec<f64>,
+    /// Units served from a [`UnitHooks::resume`] checkpoint instead of
+    /// being recomputed.
+    pub resumed_units: usize,
 }
 
 impl CampaignReport {
@@ -100,6 +104,7 @@ impl CampaignReport {
             *slot += n;
         }
         self.unit_seconds.extend_from_slice(&other.unit_seconds);
+        self.resumed_units += other.resumed_units;
     }
 
     /// An empty report to [`CampaignReport::absorb`] into.
@@ -111,6 +116,7 @@ impl CampaignReport {
             serial_estimate: Duration::ZERO,
             per_worker_units: Vec::new(),
             unit_seconds: Vec::new(),
+            resumed_units: 0,
         }
     }
 
@@ -123,6 +129,7 @@ impl CampaignReport {
     pub fn export(&self, m: &mut obs::MetricsRegistry) {
         m.set_counter("campaign.units", self.units as u64);
         m.set_counter("campaign.workers", self.workers as u64);
+        m.set_counter("campaign.resumed_units", self.resumed_units as u64);
         m.set_gauge("campaign.wall_seconds", self.wall.as_secs_f64());
         m.set_gauge(
             "campaign.serial_estimate_seconds",
@@ -184,18 +191,108 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let (slots, report) = map_indexed_with_hooks(n, workers, UnitHooks::none(), f);
+    let results = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("unit {i} never ran")))
+        .collect();
+    (results, report)
+}
+
+/// Signature of the [`UnitHooks::resume`] hook.
+pub type ResumeHook<'a, R> = &'a (dyn Fn(usize) -> Option<R> + Sync);
+
+/// Signature of the [`UnitHooks::persist`] hook.
+pub type PersistHook<'a, R> = &'a (dyn Fn(usize, &R) + Sync);
+
+/// Checkpoint and cancellation hooks for [`map_indexed_with_hooks`].
+///
+/// All three are optional; [`UnitHooks::none`] is the plain fan-out. The
+/// hooks keep the campaign engine free of any storage dependency — the
+/// orchestrator provides closures backed by its content-addressed store,
+/// tests provide closures over a `HashMap`.
+///
+/// The determinism contract carries over: `resume` must return exactly
+/// what `f` would compute for the same index (the orchestrator guarantees
+/// this by keying checkpoints on the full stage fingerprint), and
+/// `persist`/`resume` may be called concurrently from several workers.
+pub struct UnitHooks<'a, R> {
+    /// Returns a previously persisted result for a unit, if one exists.
+    /// Tried before computing; a hit skips `f` and `persist` entirely.
+    pub resume: Option<ResumeHook<'a, R>>,
+    /// Called with each freshly computed unit result, before the merge.
+    /// Persistence is best-effort: a hook that drops the result on the
+    /// floor only costs recomputation on the next resume.
+    pub persist: Option<PersistHook<'a, R>>,
+    /// Cooperative cancellation, checked before each unit is claimed.
+    /// Once set, workers stop claiming; units already in flight finish
+    /// (and are persisted), so a checkpoint is never torn mid-unit.
+    pub cancel: Option<&'a obs::CancelToken>,
+}
+
+impl<R> UnitHooks<'_, R> {
+    /// No hooks: behaves exactly like the plain fan-out.
+    pub fn none() -> Self {
+        Self {
+            resume: None,
+            persist: None,
+            cancel: None,
+        }
+    }
+}
+
+impl<R> Default for UnitHooks<'_, R> {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The hook-aware core of [`map_indexed_with_workers`]: fans `f(0..n)`
+/// across `workers` threads with optional per-unit resume/persist hooks
+/// and cooperative cancellation.
+///
+/// Returns one slot per unit, in index order. A slot is `None` only when
+/// cancellation stopped the unit from being claimed — an uncancelled run
+/// always fills every slot. Resumed units count toward
+/// [`CampaignReport::resumed_units`] and contribute zero unit time.
+pub fn map_indexed_with_hooks<R, F>(
+    n: usize,
+    workers: usize,
+    hooks: UnitHooks<'_, R>,
+    f: F,
+) -> (Vec<Option<R>>, CampaignReport)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     let workers = workers.max(1).min(n.max(1));
     let start = Instant::now();
     let _campaign_span = obs::trace::span_with("t3cache", || format!("campaign.map:{n}x{workers}"));
 
+    let resumed = AtomicUsize::new(0);
     let run_units = |results: &mut Vec<(usize, R, Duration)>, next: &AtomicUsize| loop {
+        if hooks.cancel.is_some_and(obs::CancelToken::is_cancelled) {
+            break;
+        }
         let i = next.fetch_add(1, Ordering::Relaxed);
         if i >= n {
             break;
         }
+        if let Some(resume) = hooks.resume {
+            if let Some(r) = resume(i) {
+                resumed.fetch_add(1, Ordering::Relaxed);
+                obs::trace::instant_with("t3cache", || format!("unit.resumed:{i}"));
+                results.push((i, r, Duration::ZERO));
+                continue;
+            }
+        }
         let _unit_span = obs::trace::span_with("t3cache", || format!("unit:{i}"));
         let t0 = Instant::now();
         let r = f(i);
+        if let Some(persist) = hooks.persist {
+            persist(i, &r);
+        }
         results.push((i, r, t0.elapsed()));
     };
 
@@ -227,7 +324,8 @@ where
     };
 
     // Merge into pre-indexed slots: output order is unit-index order, no
-    // matter which worker finished which unit when.
+    // matter which worker finished which unit when. Slots left `None`
+    // were never claimed (cancellation).
     let per_worker_units: Vec<usize> = batches.iter().map(Vec::len).collect();
     let mut serial_estimate = Duration::ZERO;
     let mut unit_seconds = vec![0.0f64; n];
@@ -241,11 +339,6 @@ where
             slots[i] = Some(r);
         }
     }
-    let results = slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("unit {i} never ran")))
-        .collect();
 
     let report = CampaignReport {
         units: n,
@@ -254,8 +347,9 @@ where
         serial_estimate,
         per_worker_units,
         unit_seconds,
+        resumed_units: resumed.load(Ordering::Relaxed),
     };
-    (results, report)
+    (slots, report)
 }
 
 /// One `(chip, scheme)` evaluation result.
@@ -398,6 +492,85 @@ mod tests {
         assert_eq!(report.units, 0);
         let (out, _) = map_indexed_with_workers(1, 4, |i| i + 7);
         assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn hooks_persist_then_resume_bit_identically() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        // First pass: compute everything, persisting into a map.
+        let store: Mutex<HashMap<usize, u64>> = Mutex::new(HashMap::new());
+        let persist = |i: usize, r: &u64| {
+            store.lock().unwrap().insert(i, *r);
+        };
+        let hooks = UnitHooks {
+            persist: Some(&persist),
+            ..UnitHooks::none()
+        };
+        let (first, report) =
+            map_indexed_with_hooks(50, 4, hooks, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        assert_eq!(report.resumed_units, 0);
+        assert_eq!(store.lock().unwrap().len(), 50);
+
+        // Second pass: every unit resumes; computing is a test failure.
+        let resume = |i: usize| store.lock().unwrap().get(&i).copied();
+        let hooks = UnitHooks {
+            resume: Some(&resume),
+            ..UnitHooks::none()
+        };
+        let (second, report) = map_indexed_with_hooks(50, 4, hooks, |i| {
+            panic!("unit {i} recomputed despite a full checkpoint")
+        });
+        assert_eq!(report.resumed_units, 50);
+        assert_eq!(first, second, "resumed results must be bit-identical");
+
+        // Partial checkpoint: only even units resume, odd ones compute.
+        store.lock().unwrap().retain(|&i, _| i % 2 == 0);
+        let resume = |i: usize| store.lock().unwrap().get(&i).copied();
+        let hooks = UnitHooks {
+            resume: Some(&resume),
+            ..UnitHooks::none()
+        };
+        let (third, report) =
+            map_indexed_with_hooks(50, 4, hooks, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        assert_eq!(report.resumed_units, 25);
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_claiming_units() {
+        // A pre-cancelled token: no unit is ever claimed.
+        let token = obs::CancelToken::new();
+        token.cancel();
+        let hooks: UnitHooks<'_, usize> = UnitHooks {
+            cancel: Some(&token),
+            ..UnitHooks::none()
+        };
+        let (slots, report) = map_indexed_with_hooks(20, 2, hooks, |i| i);
+        assert!(slots.iter().all(Option::is_none));
+        assert_eq!(report.resumed_units, 0);
+
+        // Cancelling mid-run: the claiming worker stops at the flag, so
+        // some prefix of units completes and the rest stay None.
+        let token = obs::CancelToken::new();
+        let hooks = UnitHooks {
+            cancel: Some(&token),
+            ..UnitHooks::none()
+        };
+        let (slots, _) = map_indexed_with_hooks(20, 1, hooks, |i| {
+            if i == 4 {
+                token.cancel();
+            }
+            i
+        });
+        let done = slots.iter().filter(|s| s.is_some()).count();
+        assert!(done >= 5, "units before the cancel completed: {done}");
+        assert!(done < 20, "cancellation must stop the campaign");
+        // Completed units are intact and in order.
+        for (i, s) in slots.iter().enumerate().take(done) {
+            assert_eq!(*s, Some(i));
+        }
     }
 
     #[test]
