@@ -235,6 +235,7 @@ pub fn compare(base: &BenchReport, current: &BenchReport, threshold_pct: f64) ->
 #[derive(Debug, Clone, Copy)]
 struct Sizes {
     chips: u32,
+    sample_chips: u32,
     instructions: u64,
     warmup: u64,
     cache_accesses: u64,
@@ -247,6 +248,7 @@ impl Sizes {
         if quick {
             Self {
                 chips: 4,
+                sample_chips: 8,
                 instructions: 20_000,
                 warmup: 5_000,
                 cache_accesses: 200_000,
@@ -256,6 +258,7 @@ impl Sizes {
         } else {
             Self {
                 chips: 16,
+                sample_chips: 24,
                 instructions: 50_000,
                 warmup: 25_000,
                 cache_accesses: 1_000_000,
@@ -327,6 +330,28 @@ pub fn run_suite(label: &str, quick: bool, workers: usize, verbose: bool) -> Ben
     note("campaign.chips_per_s.wn", chips_per_s[1]);
     note("campaign.speedup", chips_per_s[1] / chips_per_s[0].max(1e-12));
     note("campaign.workers", workers as f64);
+
+    // --- Monte-Carlo chip sampling throughput, 1 worker vs N --------
+    // Times the SoA batch kernels (`vlsi::montecarlo::batch`) end to
+    // end through `ChipPopulation::generate_with_workers`: quad-tree
+    // plane gather, per-line normal fills, and batched retention
+    // solves, sharded contiguously across the campaign workers.
+    let mut sample_chips_per_s = [0.0f64; 2];
+    for (slot, w) in [(0, 1usize), (1, workers)] {
+        let t0 = Instant::now();
+        let p = ChipPopulation::generate_with_workers(
+            TechNode::N32,
+            VariationCorner::Severe.params(),
+            sizes.sample_chips,
+            9_002,
+            w,
+        );
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        assert_eq!(p.len(), sizes.sample_chips as usize);
+        sample_chips_per_s[slot] = sizes.sample_chips as f64 / dt;
+    }
+    note("campaign.sample_chips_per_s.w1", sample_chips_per_s[0]);
+    note("campaign.sample_chips_per_s.wn", sample_chips_per_s[1]);
 
     // --- raw cache demand-access throughput -------------------------
     let mut cache = DataCache::new(

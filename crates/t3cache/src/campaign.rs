@@ -12,12 +12,18 @@
 //!   `(seed, bench_i)` and pre-recorded by the shared
 //!   [`crate::evaluate::Evaluator`]), so no unit observes another's
 //!   scheduling;
-//! * workers claim unit indices from a shared atomic counter
-//!   (work-stealing by index, so long units don't straggle a static
-//!   partition) and stash `(index, result)` pairs locally;
-//! * after the scope joins, results are merged into pre-indexed slots —
-//!   position `i` of the output always holds unit `i`'s result, whatever
-//!   thread or order computed it.
+//! * the plain fan-out ([`map_indexed_with_workers`]) hands each worker
+//!   one **contiguous index shard** ([`shard_ranges`]): no shared claim
+//!   counter on the hot path, no per-unit synchronization — a worker
+//!   touches only its own cache-warm run of indices and the merge is a
+//!   straight concatenation. Shard-sized checkpointing rides the same
+//!   engine via [`map_shards_with_hooks`];
+//! * the per-unit hook engine ([`map_indexed_with_hooks`]) keeps the
+//!   atomic-counter claim loop for callers that need *unit*-granular
+//!   resume/persist (the orchestrator's crash-safe stages);
+//! * either way, results are merged into pre-indexed slots — position
+//!   `i` of the output always holds unit `i`'s result, whatever thread
+//!   or order computed it.
 //!
 //! The pool is `std::thread::scope`-based: no dependencies, no `unsafe`,
 //! borrows of the campaign's shared inputs (chip populations, recorded
@@ -67,8 +73,9 @@ pub struct CampaignReport {
     /// Sum of the individual unit times — what a serial loop over the
     /// same units would have cost (modulo cache warmth).
     pub serial_estimate: Duration,
-    /// Units each worker claimed off the shared counter (work-stealing
-    /// balance; length = worker count).
+    /// Units each worker handled (shard sizes for the static-shard
+    /// fan-out, atomic-counter claim counts for the per-unit hook engine;
+    /// length = worker count).
     pub per_worker_units: Vec<usize>,
     /// Per-unit execution times in seconds, indexed by unit (0 for
     /// resumed units — they were not recomputed).
@@ -186,18 +193,166 @@ where
 
 /// [`map_indexed`] with an explicit worker count (the determinism tests
 /// compare 1 vs N directly, without touching the environment).
+///
+/// Each worker computes one contiguous index shard — see [`shard_ranges`]
+/// and the module docs. Because unit `i` depends only on `i`, the shard
+/// partition (and therefore the worker count) cannot change any result.
 pub fn map_indexed_with_workers<R, F>(n: usize, workers: usize, f: F) -> (Vec<R>, CampaignReport)
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let (slots, report) = map_indexed_with_hooks(n, workers, UnitHooks::none(), f);
-    let results = slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| panic!("unit {i} never ran")))
-        .collect();
+    let (shards, report) = map_shards_with_hooks(n, workers, UnitHooks::none(), f);
+    let mut results = Vec::with_capacity(n);
+    for (s, shard) in shards.into_iter().enumerate() {
+        results.append(&mut shard.unwrap_or_else(|| panic!("shard {s} never ran")));
+    }
     (results, report)
+}
+
+/// Balanced contiguous partition of `0..n` into at most `shards` runs:
+/// lengths differ by at most one, earlier shards take the remainder, and
+/// concatenating the ranges in order reproduces `0..n` exactly. With
+/// `n == 0` there is a single empty shard.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.max(1).min(n.max(1));
+    let base = n / shards;
+    let rem = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0usize;
+    for s in 0..shards {
+        let len = base + usize::from(s < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// The shard-granular fan-out: partitions `0..n` into contiguous shards
+/// ([`shard_ranges`]), runs one worker thread per shard, and treats the
+/// **whole shard as the checkpoint unit** — `hooks.resume`/`hooks.persist`
+/// are keyed by shard index and carry the shard's full result vector.
+///
+/// Rationale for shard = checkpoint unit: with the SoA batch kernels a
+/// single chip unit is milliseconds of work, so per-unit checkpoint I/O
+/// rivals the work itself; a shard amortizes one store over `n / workers`
+/// units while bounding recomputation after a crash to one shard.
+///
+/// Cancellation is checked between units; a shard interrupted mid-run
+/// returns a `None` slot and is **not** persisted (a checkpoint is never
+/// torn mid-shard). Each shard emits a `campaign.shard` trace span and
+/// counter carrying its unit count.
+///
+/// # Panics
+///
+/// Panics if `hooks.resume` returns a shard whose length does not match
+/// the shard's range (a stale checkpoint from a different geometry).
+pub fn map_shards_with_hooks<R, F>(
+    n: usize,
+    workers: usize,
+    hooks: UnitHooks<'_, Vec<R>>,
+    f: F,
+) -> (Vec<Option<Vec<R>>>, CampaignReport)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let ranges = shard_ranges(n, workers);
+    let shards = ranges.len();
+    let start = Instant::now();
+    let _campaign_span =
+        obs::trace::span_with("t3cache", || format!("campaign.map:{n}x{shards}shards"));
+    let resumed = AtomicUsize::new(0);
+
+    type ShardOutcome<R> = (Option<Vec<R>>, Vec<(usize, Duration)>);
+    let run_shard = |s: usize, range: std::ops::Range<usize>| -> ShardOutcome<R> {
+        if hooks.cancel.is_some_and(obs::CancelToken::is_cancelled) {
+            return (None, Vec::new());
+        }
+        let len = range.end - range.start;
+        if let Some(resume) = hooks.resume {
+            if let Some(r) = resume(s) {
+                assert_eq!(
+                    r.len(),
+                    len,
+                    "resumed shard {s} holds {} units, expected {len}",
+                    r.len()
+                );
+                resumed.fetch_add(len, Ordering::Relaxed);
+                obs::trace::instant_with("t3cache", || format!("campaign.shard.resumed:{s}"));
+                return (Some(r), Vec::new());
+            }
+        }
+        let _shard_span =
+            obs::trace::span_with("t3cache", || format!("campaign.shard:{s}:{len}units"));
+        let mut local = Vec::with_capacity(len);
+        let mut times = Vec::with_capacity(len);
+        for i in range {
+            if hooks.cancel.is_some_and(obs::CancelToken::is_cancelled) {
+                return (None, times); // torn shard: dropped, never persisted
+            }
+            let _unit_span = obs::trace::span_with("t3cache", || format!("unit:{i}"));
+            let t0 = Instant::now();
+            local.push(f(i));
+            times.push((i, t0.elapsed()));
+        }
+        obs::trace::counter("campaign.shard", len as f64);
+        // Emitted at shard *completion* so the per-shard unit count stays
+        // visible in `pv3t1d report --trace` even when an event-heavy
+        // stage has evicted the shard's begin-span from the trace ring.
+        obs::trace::instant_with("t3cache", || format!("campaign.shard.done:{s}:{len}units"));
+        if let Some(persist) = hooks.persist {
+            persist(s, &local);
+        }
+        (Some(local), times)
+    };
+
+    let outcomes: Vec<ShardOutcome<R>> = if shards == 1 {
+        vec![run_shard(0, ranges[0].clone())]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(s, range)| {
+                    let run_shard = &run_shard;
+                    scope.spawn(move || {
+                        let _worker_span =
+                            obs::trace::span_with("t3cache", || format!("worker:{s}"));
+                        run_shard(s, range)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign shard worker panicked"))
+                .collect()
+        })
+    };
+
+    let per_worker_units: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+    let mut serial_estimate = Duration::ZERO;
+    let mut unit_seconds = vec![0.0f64; n];
+    let mut slots: Vec<Option<Vec<R>>> = Vec::with_capacity(shards);
+    for (slot, times) in outcomes {
+        for &(i, dt) in &times {
+            serial_estimate += dt;
+            unit_seconds[i] = dt.as_secs_f64();
+        }
+        slots.push(slot);
+    }
+
+    let report = CampaignReport {
+        units: n,
+        workers: shards,
+        wall: start.elapsed(),
+        serial_estimate,
+        per_worker_units,
+        unit_seconds,
+        resumed_units: resumed.load(Ordering::Relaxed),
+    };
+    (slots, report)
 }
 
 /// Signature of the [`UnitHooks::resume`] hook.
@@ -536,6 +691,106 @@ mod tests {
             map_indexed_with_hooks(50, 4, hooks, |i| (i as u64).wrapping_mul(0x9E37_79B9));
         assert_eq!(report.resumed_units, 25);
         assert_eq!(first, third);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for n in [0usize, 1, 7, 37, 100] {
+            for shards in [1usize, 2, 3, 8, 16, 200] {
+                let ranges = shard_ranges(n, shards);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= shards.max(1));
+                // Concatenating the ranges reproduces 0..n exactly.
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "n={n} shards={shards}");
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<usize> = ranges.iter().map(|r| r.end - r.start).collect();
+                let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(hi - lo <= 1, "n={n} shards={shards} lens={lens:?}");
+            }
+        }
+    }
+
+    /// The shard-sized checkpoint satellite: persist whole shards, kill,
+    /// resume from the shard store bit-identically — including with a
+    /// different worker count only when the shard geometry matches.
+    #[test]
+    fn shards_persist_then_resume_bit_identically() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        let compute = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xA5;
+        let store: Mutex<HashMap<usize, Vec<u64>>> = Mutex::new(HashMap::new());
+        let persist = |s: usize, r: &Vec<u64>| {
+            store.lock().unwrap().insert(s, r.clone());
+        };
+        let hooks = UnitHooks {
+            persist: Some(&persist),
+            ..UnitHooks::none()
+        };
+        let (first, report) = map_shards_with_hooks(37, 4, hooks, compute);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.resumed_units, 0);
+        assert_eq!(store.lock().unwrap().len(), 4, "one checkpoint per shard");
+        let first: Vec<u64> = first.into_iter().flatten().flatten().collect();
+        assert_eq!(first, (0..37).map(compute).collect::<Vec<_>>());
+
+        // Full resume: recomputing any unit is a test failure.
+        let resume = |s: usize| store.lock().unwrap().get(&s).cloned();
+        let hooks = UnitHooks {
+            resume: Some(&resume),
+            ..UnitHooks::none()
+        };
+        let (second, report) = map_shards_with_hooks(37, 4, hooks, |i| -> u64 {
+            panic!("unit {i} recomputed despite a full shard checkpoint")
+        });
+        assert_eq!(report.resumed_units, 37);
+        let second: Vec<u64> = second.into_iter().flatten().flatten().collect();
+        assert_eq!(first, second, "resumed shards must be bit-identical");
+
+        // Partial checkpoint (a crash that persisted only some shards):
+        // missing shards recompute, present ones replay.
+        store.lock().unwrap().retain(|&s, _| s % 2 == 0);
+        let resume = |s: usize| store.lock().unwrap().get(&s).cloned();
+        let hooks = UnitHooks {
+            resume: Some(&resume),
+            ..UnitHooks::none()
+        };
+        let (third, report) = map_shards_with_hooks(37, 4, hooks, compute);
+        assert!(report.resumed_units > 0 && report.resumed_units < 37);
+        let third: Vec<u64> = third.into_iter().flatten().flatten().collect();
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn cancelled_shard_is_never_persisted() {
+        use std::collections::HashMap;
+        use std::sync::Mutex;
+
+        let token = obs::CancelToken::new();
+        let store: Mutex<HashMap<usize, Vec<usize>>> = Mutex::new(HashMap::new());
+        let persist = |s: usize, r: &Vec<usize>| {
+            store.lock().unwrap().insert(s, r.clone());
+        };
+        let hooks = UnitHooks {
+            persist: Some(&persist),
+            cancel: Some(&token),
+            ..UnitHooks::none()
+        };
+        // Single shard, cancelled mid-run: the torn shard must not land in
+        // the store and its slot must be None.
+        let (slots, _) = map_shards_with_hooks(20, 1, hooks, |i| {
+            if i == 4 {
+                token.cancel();
+            }
+            i
+        });
+        assert!(slots[0].is_none(), "torn shard must not produce a slot");
+        assert!(store.lock().unwrap().is_empty(), "torn shard was persisted");
     }
 
     #[test]

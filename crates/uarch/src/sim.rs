@@ -21,7 +21,8 @@ use crate::config::MachineConfig;
 use crate::instr::{Instruction, OpClass, TraceSource};
 use crate::tlb::Tlb;
 use cachesim::{AccessKind, DataCache, Geometry, TagCache};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Aggregate results of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -167,6 +168,18 @@ struct Entry {
     dep2: u64,
     /// Completion cycle; u64::MAX until issued.
     completing_at: u64,
+    /// Earliest cycle both operands are available, cached once every
+    /// producer has a finite completion time; u64::MAX while unknown.
+    /// Producer completion times never change after issue, so the cached
+    /// value gives the same ready/not-ready answer as a fresh lookup.
+    ready_at: u64,
+    /// Head of this entry's wait chain: the youngest dispatched entry
+    /// parked on this (still-unissued) producer, or u64::MAX. Drained the
+    /// cycle this entry issues and its completion time becomes known.
+    wait_head: u64,
+    /// Chain link used while this entry is parked on one of its own
+    /// unissued producers.
+    wait_next: u64,
     issued: bool,
 }
 
@@ -176,6 +189,26 @@ pub struct Pipeline {
     cfg: MachineConfig,
     bpred: TournamentPredictor,
     rob: VecDeque<Entry>,
+    /// Sequence numbers of dispatched-but-unissued entries, in program
+    /// order. Only used by the `in_order` ablation path; the out-of-order
+    /// scheduler is event-driven and never rescans stalled entries.
+    unissued: VecDeque<u64>,
+    /// Event-driven scheduler (out-of-order path): entries whose operands
+    /// are available, sorted by sequence number so issue walks them in
+    /// program order. Entries stay here while unit- or port-limited.
+    ready: Vec<u64>,
+    /// Timing wheel: entries whose operands become available at a known
+    /// future cycle, keyed by (ready_at, seq).
+    wheel: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Scratch buffers for the per-cycle wheel drain + ready merge.
+    wake_scratch: Vec<u64>,
+    merge_scratch: Vec<u64>,
+    /// Incremental occupancy counters, kept in lockstep with the ROB:
+    /// issue-queue entries drain at issue, LQ/SQ entries drain at commit.
+    int_iq_occ: u32,
+    fp_iq_occ: u32,
+    lq_occ: u32,
+    sq_occ: u32,
     head_seq: u64,
     next_seq: u64,
     /// Completion cycles of recently committed instructions, for
@@ -215,6 +248,15 @@ impl Pipeline {
             cfg,
             bpred: TournamentPredictor::new(),
             rob: VecDeque::with_capacity(cfg.rob_entries as usize),
+            unissued: VecDeque::with_capacity(cfg.rob_entries as usize),
+            ready: Vec::with_capacity(cfg.rob_entries as usize),
+            wheel: BinaryHeap::with_capacity(cfg.rob_entries as usize),
+            wake_scratch: Vec::new(),
+            merge_scratch: Vec::new(),
+            int_iq_occ: 0,
+            fp_iq_occ: 0,
+            lq_occ: 0,
+            sq_occ: 0,
             head_seq: 0,
             next_seq: 0,
             committed_ring: vec![0; COMMIT_RING],
@@ -307,8 +349,14 @@ impl Pipeline {
                     self.rob.pop_front();
                     self.head_seq += 1;
                     match e.op {
-                        OpClass::Load => self.result.loads += 1,
-                        OpClass::Store => self.result.stores += 1,
+                        OpClass::Load => {
+                            self.result.loads += 1;
+                            self.lq_occ -= 1;
+                        }
+                        OpClass::Store => {
+                            self.result.stores += 1;
+                            self.sq_occ -= 1;
+                        }
                         _ => {}
                     }
                     n += 1;
@@ -341,31 +389,261 @@ impl Pipeline {
     }
 
     fn issue(&mut self, cycle: u64, cache: &mut DataCache) {
+        if self.cfg.in_order {
+            self.issue_scan(cycle, cache);
+        } else {
+            self.issue_event_driven(cycle, cache);
+        }
+    }
+
+    /// Event-driven issue: drain the timing wheel into the ready list and
+    /// walk only operand-ready entries in program order. Produces the same
+    /// issue decisions as the linear unissued scan — readiness is the
+    /// cached `ready_at` the scan would compute, and the seq-sorted walk
+    /// preserves the scan's program-order unit allocation — without ever
+    /// revisiting operand-stalled entries.
+    fn issue_event_driven(&mut self, cycle: u64, cache: &mut DataCache) {
+        // Wake entries whose operands became available by this cycle.
+        if matches!(self.wheel.peek(), Some(&Reverse((t, _))) if t <= cycle) {
+            let mut woken = std::mem::take(&mut self.wake_scratch);
+            while let Some(&Reverse((t, seq))) = self.wheel.peek() {
+                if t > cycle {
+                    break;
+                }
+                self.wheel.pop();
+                woken.push(seq);
+            }
+            woken.sort_unstable();
+            if self.ready.is_empty() {
+                std::mem::swap(&mut self.ready, &mut woken);
+            } else {
+                // Merge the two seq-sorted runs.
+                self.merge_scratch.clear();
+                let (mut i, mut j) = (0, 0);
+                while i < self.ready.len() && j < woken.len() {
+                    if self.ready[i] < woken[j] {
+                        self.merge_scratch.push(self.ready[i]);
+                        i += 1;
+                    } else {
+                        self.merge_scratch.push(woken[j]);
+                        j += 1;
+                    }
+                }
+                self.merge_scratch.extend_from_slice(&self.ready[i..]);
+                self.merge_scratch.extend_from_slice(&woken[j..]);
+                std::mem::swap(&mut self.ready, &mut self.merge_scratch);
+            }
+            woken.clear();
+            self.wake_scratch = woken;
+        }
+
         let mut int_units = self.cfg.int_units;
         let mut fp_units = self.cfg.fp_units;
         let mut mem_tries = 4u32; // bounded port probing per cycle
+        let mut issued_any = false;
 
-        for idx in 0..self.rob.len() {
+        for i in 0..self.ready.len() {
             if int_units == 0 && fp_units == 0 {
                 break;
             }
+            let seq = self.ready[i];
+            let idx = (seq - self.head_seq) as usize;
             let e = self.rob[idx];
-            if e.issued {
-                continue;
+            match e.op {
+                OpClass::Fp => {
+                    if fp_units == 0 {
+                        continue;
+                    }
+                    fp_units -= 1;
+                    self.fp_iq_occ -= 1;
+                    issued_any = true;
+                    self.rob[idx].issued = true;
+                    self.rob[idx].completing_at = cycle + 4;
+                    let done1 = self.producer_done_at(seq, e.dep1);
+                    let done2 = self.producer_done_at(seq, e.dep2);
+                    self.record_value_ages(cycle, &e, done1, done2);
+                    self.wake_dependents(seq);
+                }
+                OpClass::IntAlu | OpClass::Branch | OpClass::IntMul => {
+                    if int_units == 0 {
+                        continue;
+                    }
+                    int_units -= 1;
+                    self.int_iq_occ -= 1;
+                    issued_any = true;
+                    let lat = e.op.fixed_latency().unwrap_or(1);
+                    self.rob[idx].issued = true;
+                    self.rob[idx].completing_at = cycle + lat as u64;
+                    let done1 = self.producer_done_at(seq, e.dep1);
+                    let done2 = self.producer_done_at(seq, e.dep2);
+                    self.record_value_ages(cycle, &e, done1, done2);
+                    self.wake_dependents(seq);
+                    // A resolving mispredicted branch re-opens fetch.
+                    if self.pending_redirect == Some(seq) {
+                        self.fetch_blocked_until =
+                            self.rob[idx].completing_at + self.cfg.redirect_penalty as u64;
+                        self.pending_redirect = None;
+                    }
+                }
+                OpClass::Load | OpClass::Store => {
+                    if int_units == 0 || mem_tries == 0 {
+                        continue;
+                    }
+                    mem_tries -= 1;
+                    let kind = if e.op == OpClass::Load {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    };
+                    match cache.access(cycle, e.addr, kind) {
+                        Ok(r) => {
+                            int_units -= 1;
+                            self.int_iq_occ -= 1;
+                            issued_any = true;
+                            let tlb_extra = if self.dtlb.access(e.addr) {
+                                0
+                            } else {
+                                self.result.dtlb_misses += 1;
+                                self.cfg.dtlb_miss_penalty as u64
+                            };
+                            self.rob[idx].issued = true;
+                            self.rob[idx].completing_at = cycle + r.latency as u64 + tlb_extra;
+                            let done1 = self.producer_done_at(seq, e.dep1);
+                            let done2 = self.producer_done_at(seq, e.dep2);
+                            self.record_value_ages(cycle, &e, done1, done2);
+                            self.wake_dependents(seq);
+                            if r.expired {
+                                self.result.replay_flushes += 1;
+                                self.fetch_blocked_until = self
+                                    .fetch_blocked_until
+                                    .max(cycle + self.cfg.replay_flush_cycles as u64);
+                                obs::trace::sim_instant("uarch", "replay.flush", cycle);
+                            }
+                        }
+                        Err(_) => {
+                            self.result.port_retries += 1;
+                            obs::trace::sim_instant("uarch", "port.retry", cycle);
+                            // Stay in the ready list; retry next cycle.
+                        }
+                    }
+                }
             }
+        }
+
+        if issued_any {
+            let rob = &self.rob;
+            let head = self.head_seq;
+            self.ready.retain(|&s| !rob[(s - head) as usize].issued);
+        }
+    }
+
+    /// Producer `pseq` just received a finite completion time: move each
+    /// dependent parked on it to the timing wheel, or onto its other
+    /// still-unissued producer (each entry is re-examined at most twice).
+    fn wake_dependents(&mut self, pseq: u64) {
+        let pidx = (pseq - self.head_seq) as usize;
+        let mut w = std::mem::replace(&mut self.rob[pidx].wait_head, u64::MAX);
+        while w != u64::MAX {
+            let widx = (w - self.head_seq) as usize;
+            let next = std::mem::replace(&mut self.rob[widx].wait_next, u64::MAX);
+            let (dep1, dep2) = (self.rob[widx].dep1, self.rob[widx].dep2);
+            let done1 = self.producer_done_at(w, dep1);
+            let done2 = self.producer_done_at(w, dep2);
+            if done1 == u64::MAX {
+                self.park_on(w, dep1);
+            } else if done2 == u64::MAX {
+                self.park_on(w, dep2);
+            } else {
+                // The waking producer completes at cycle+latency ≥ cycle+1,
+                // so the dependent's ready time is always in the future.
+                let at = done1.max(done2);
+                self.rob[widx].ready_at = at;
+                self.wheel.push(Reverse((at, w)));
+            }
+            w = next;
+        }
+    }
+
+    /// Parks `waiter` on the wait chain of its unissued producer `dep`.
+    fn park_on(&mut self, waiter: u64, dep: u64) {
+        let didx = (dep - self.head_seq) as usize;
+        let widx = (waiter - self.head_seq) as usize;
+        self.rob[widx].wait_next = self.rob[didx].wait_head;
+        self.rob[didx].wait_head = waiter;
+    }
+
+    /// Places a freshly dispatched entry into the event-driven scheduler:
+    /// straight onto the ready list (appending keeps it seq-sorted since
+    /// sequence numbers only grow), onto the timing wheel, or parked on an
+    /// unissued producer.
+    fn schedule_dispatched(&mut self, seq: u64, cycle: u64) {
+        let idx = (seq - self.head_seq) as usize;
+        let (dep1, dep2) = (self.rob[idx].dep1, self.rob[idx].dep2);
+        let done1 = self.producer_done_at(seq, dep1);
+        let done2 = self.producer_done_at(seq, dep2);
+        if done1 == u64::MAX {
+            self.park_on(seq, dep1);
+        } else if done2 == u64::MAX {
+            self.park_on(seq, dep2);
+        } else {
+            let at = done1.max(done2);
+            self.rob[idx].ready_at = at;
+            if at <= cycle {
+                self.ready.push(seq);
+            } else {
+                self.wheel.push(Reverse((at, seq)));
+            }
+        }
+    }
+
+    /// Linear scan over the unissued list, used by the `in_order`
+    /// configuration (where the first stalled entry is a barrier anyway,
+    /// so event-driven wakeup buys nothing).
+    fn issue_scan(&mut self, cycle: u64, cache: &mut DataCache) {
+        let mut int_units = self.cfg.int_units;
+        let mut fp_units = self.cfg.fp_units;
+        let mut mem_tries = 4u32; // bounded port probing per cycle
+        let mut issued_any = false;
+
+        // Walk only the dispatched-but-unissued entries, in program order —
+        // the same visit order the full-ROB scan produced, since issued
+        // entries were skipped there without side effects.
+        for u in 0..self.unissued.len() {
+            if int_units == 0 && fp_units == 0 {
+                break;
+            }
+            let seq = self.unissued[u];
+            let idx = (seq - self.head_seq) as usize;
+            let e = self.rob[idx];
             // In-order issue: stop at the first unissued instruction that
             // cannot go this cycle (no younger instruction may pass it).
             let in_order_barrier = self.cfg.in_order;
-            let seq = self.head_seq + idx as u64;
-            let done1 = self.producer_done_at(seq, e.dep1);
-            let done2 = self.producer_done_at(seq, e.dep2);
-            let ready = done1 <= cycle && done2 <= cycle;
+            let ready = if e.ready_at != u64::MAX {
+                e.ready_at <= cycle
+            } else {
+                let done1 = self.producer_done_at(seq, e.dep1);
+                let done2 = self.producer_done_at(seq, e.dep2);
+                if done1 != u64::MAX && done2 != u64::MAX {
+                    self.rob[idx].ready_at = done1.max(done2);
+                }
+                done1 <= cycle && done2 <= cycle
+            };
             if !ready {
                 if in_order_barrier {
                     break;
                 }
                 continue;
             }
+            // Operand availability times for the value-age histogram:
+            // recomputed at the issue attempt, which is the same cycle the
+            // readiness check passed, so the ring/ROB lookups match what a
+            // fresh scan would have seen.
+            let ages = |p: &Self| {
+                (
+                    p.producer_done_at(seq, e.dep1),
+                    p.producer_done_at(seq, e.dep2),
+                )
+            };
             match e.op {
                 OpClass::Fp => {
                     if fp_units == 0 {
@@ -375,8 +653,11 @@ impl Pipeline {
                         continue;
                     }
                     fp_units -= 1;
+                    self.fp_iq_occ -= 1;
+                    issued_any = true;
                     self.rob[idx].issued = true;
                     self.rob[idx].completing_at = cycle + 4;
+                    let (done1, done2) = ages(self);
                     self.record_value_ages(cycle, &e, done1, done2);
                 }
                 OpClass::IntAlu | OpClass::Branch | OpClass::IntMul => {
@@ -387,9 +668,12 @@ impl Pipeline {
                         continue;
                     }
                     int_units -= 1;
+                    self.int_iq_occ -= 1;
+                    issued_any = true;
                     let lat = e.op.fixed_latency().unwrap_or(1);
                     self.rob[idx].issued = true;
                     self.rob[idx].completing_at = cycle + lat as u64;
+                    let (done1, done2) = ages(self);
                     self.record_value_ages(cycle, &e, done1, done2);
                     // A resolving mispredicted branch re-opens fetch.
                     if self.pending_redirect == Some(seq) {
@@ -414,6 +698,8 @@ impl Pipeline {
                     match cache.access(cycle, e.addr, kind) {
                         Ok(r) => {
                             int_units -= 1;
+                            self.int_iq_occ -= 1;
+                            issued_any = true;
                             // Translate through the DTLB; a miss adds the
                             // page-walk latency to this access.
                             let tlb_extra = if self.dtlb.access(e.addr) {
@@ -425,6 +711,7 @@ impl Pipeline {
                             self.rob[idx].issued = true;
                             self.rob[idx].completing_at =
                                 cycle + r.latency as u64 + tlb_extra;
+                            let (done1, done2) = ages(self);
                             self.record_value_ages(cycle, &e, done1, done2);
                             if r.expired {
                                 // The scheduler speculated a hit on a line
@@ -450,6 +737,15 @@ impl Pipeline {
                 }
             }
         }
+
+        // Drop the entries that left the issue queues this cycle; the
+        // relative order of the survivors is untouched.
+        if issued_any {
+            let rob = &self.rob;
+            let head = self.head_seq;
+            self.unissued
+                .retain(|&s| !rob[(s - head) as usize].issued);
+        }
     }
 
     /// Records the ages of the operand values an issuing instruction
@@ -471,26 +767,9 @@ impl Pipeline {
         }
 
         // Occupancy limits: unissued entries sit in the issue queues;
-        // loads/stores hold LQ/SQ entries until commit.
-        let mut int_iq = 0u32;
-        let mut fp_iq = 0u32;
-        let mut lq = 0u32;
-        let mut sq = 0u32;
-        for e in &self.rob {
-            if !e.issued {
-                if e.op.is_fp() {
-                    fp_iq += 1;
-                } else {
-                    int_iq += 1;
-                }
-            }
-            match e.op {
-                OpClass::Load => lq += 1,
-                OpClass::Store => sq += 1,
-                _ => {}
-            }
-        }
-
+        // loads/stores hold LQ/SQ entries until commit. The incremental
+        // counters carry exactly what the old full-ROB recount produced
+        // (issue-queue drain at issue, LQ/SQ drain at commit).
         for _ in 0..self.cfg.width {
             if self.rob.len() >= self.cfg.rob_entries as usize {
                 self.result.rob_full_stalls += 1;
@@ -510,7 +789,9 @@ impl Pipeline {
             }
 
             // Peek capacity for the worst case before consuming the trace.
-            if int_iq >= self.cfg.int_iq_entries && fp_iq >= self.cfg.fp_iq_entries {
+            if self.int_iq_occ >= self.cfg.int_iq_entries
+                && self.fp_iq_occ >= self.cfg.fp_iq_entries
+            {
                 self.result.iq_full_stalls += 1;
                 break;
             }
@@ -521,23 +802,23 @@ impl Pipeline {
             // specific headroom (conservative: require one slot free in
             // the class queue before consuming).
             match classify(&instr) {
-                Class::Fp if fp_iq >= self.cfg.fp_iq_entries => {
+                Class::Fp if self.fp_iq_occ >= self.cfg.fp_iq_entries => {
                     // Put it back is impossible; instead stall by modeling
                     // the queue-full as a single-cycle bubble and dispatch
                     // it anyway (the queue drains within the cycle in
                     // hardware). Counted as dispatched.
                 }
-                Class::Int if int_iq >= self.cfg.int_iq_entries => {}
+                Class::Int if self.int_iq_occ >= self.cfg.int_iq_entries => {}
                 _ => {}
             }
-            if instr.op == OpClass::Load && lq >= self.cfg.load_queue {
+            if instr.op == OpClass::Load && self.lq_occ >= self.cfg.load_queue {
                 // LQ full: model a stall by blocking further dispatch this
                 // cycle after placing this load next cycle — simplest is
                 // to block fetch one cycle.
                 self.fetch_blocked_until = cycle + 1;
                 self.result.lsq_full_stalls += 1;
             }
-            if instr.op == OpClass::Store && sq >= self.cfg.store_queue {
+            if instr.op == OpClass::Store && self.sq_occ >= self.cfg.store_queue {
                 self.fetch_blocked_until = cycle + 1;
                 self.result.lsq_full_stalls += 1;
             }
@@ -580,6 +861,9 @@ impl Pipeline {
                 dep1: dep(instr.src1),
                 dep2: dep(instr.src2),
                 completing_at: u64::MAX,
+                ready_at: u64::MAX,
+                wait_head: u64::MAX,
+                wait_next: u64::MAX,
                 issued: false,
             };
 
@@ -593,12 +877,12 @@ impl Pipeline {
             }
 
             match classify(&instr) {
-                Class::Fp => fp_iq += 1,
-                Class::Int => int_iq += 1,
+                Class::Fp => self.fp_iq_occ += 1,
+                Class::Int => self.int_iq_occ += 1,
             }
             match instr.op {
-                OpClass::Load => lq += 1,
-                OpClass::Store => sq += 1,
+                OpClass::Load => self.lq_occ += 1,
+                OpClass::Store => self.sq_occ += 1,
                 _ => {}
             }
             // Clamp dependency distances beyond the commit ring: those
@@ -610,6 +894,11 @@ impl Pipeline {
                 entry.dep2 = u64::MAX;
             }
             self.rob.push_back(entry);
+            if self.cfg.in_order {
+                self.unissued.push_back(seq);
+            } else {
+                self.schedule_dispatched(seq, cycle);
+            }
         }
     }
 }

@@ -38,8 +38,12 @@ use crate::tech::TechNode;
 use crate::units::{Power, Time, Voltage};
 use crate::variation::{DeviceDeviation, VariationParams};
 use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+#[cfg(test)]
+use rand::RngCore;
+use rand::SeedableRng;
 use std::sync::OnceLock;
+
+pub mod batch;
 
 /// Quad-tree depth used throughout (the paper's 3-level model).
 pub const QUADTREE_LEVELS: usize = 3;
@@ -181,20 +185,27 @@ impl Chip {
     /// retention over its data and tag cells (the line must hold every bit).
     ///
     /// Memoized: the first call samples the retention field through the
-    /// per-node [`RetentionSolver`] fast path; later calls return a copy of
-    /// the cached product in O(lines). Use
-    /// [`Chip::line_retentions_cached`] for the copy-free O(1) view.
+    /// SoA [`batch`] kernels; later calls return a copy of the cached
+    /// product in O(lines). Use [`Chip::line_retentions_cached`] for the
+    /// copy-free O(1) view.
     pub fn line_retentions(&self) -> Vec<Time> {
         self.line_retentions_cached().to_vec()
     }
 
     /// Borrowed view of the memoized per-line retention product. The first
-    /// call on a chip samples ~557 k cells; every later call is O(1).
+    /// call on a chip samples ~557 k cells via the [`batch`] kernels;
+    /// every later call is O(1).
     pub fn line_retentions_cached(&self) -> &[Time] {
-        self.retentions.get_or_init(|| {
-            let solver = RetentionSolver::new(self.node);
-            self.sample_line_retentions(|dl, dvth1, dvth2| solver.retention(dl, dvth1, dvth2))
-        })
+        self.retentions.get_or_init(|| batch::line_retentions(self))
+    }
+
+    /// The scalar per-cell reference path through the per-node
+    /// [`RetentionSolver`]: same stream contract and same solver as the
+    /// [`batch`] kernels, cell-at-a-time. Never cached. The test-suite
+    /// pins the batch product bit-identical against this.
+    pub fn line_retentions_scalar(&self) -> Vec<Time> {
+        let solver = RetentionSolver::new(self.node);
+        self.sample_line_retentions(|dl, dvth1, dvth2| solver.retention(dl, dvth1, dvth2))
     }
 
     /// The exact reference path: every cell solved with
@@ -275,11 +286,11 @@ impl Chip {
     }
 
     fn sample_word_retention_map(&self, words_per_line: u32) -> WordRetentionMap {
-        let mut rng = self.rng_for(WORD_RETENTION_PURPOSE);
-        self.word_map_with_rng(words_per_line, &mut rng, true)
+        batch::word_retention_map(self, words_per_line)
     }
 
-    /// Core word-map sampling loop.
+    /// Core scalar word-map sampling loop — the reference the batch word
+    /// kernel is pinned against (test-only since the batch migration).
     ///
     /// Unlike the line loop, a dead word must not stop the scan (its
     /// neighbors' words are still live), so the fast path elides only the
@@ -288,6 +299,7 @@ impl Chip {
     /// position after every cell independent of `skip_dead_solves`. The
     /// test-suite pins both the resulting map and the draw count against
     /// the no-skip reference.
+    #[cfg(test)]
     fn word_map_with_rng<R: RngCore>(
         &self,
         words_per_line: u32,

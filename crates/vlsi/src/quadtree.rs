@@ -104,6 +104,53 @@ impl QuadTreeField {
         sum
     }
 
+    /// Side length of the finest-level grid (`2^levels`).
+    pub fn finest_side(&self) -> usize {
+        2usize << (self.levels.len() - 1)
+    }
+
+    /// Flattens the whole tree into one plane: the field value of every
+    /// finest-level leaf, row-major over the `finest_side()²` grid.
+    ///
+    /// Because each coarser quadrant fully contains its finer children,
+    /// [`QuadTreeField::value_at`] is constant within a finest-level leaf,
+    /// and the per-leaf totals here are produced by the *same* level-order
+    /// summation — so `leaf_totals()[cy * side + cx]` is bit-identical to
+    /// `value_at(x, y)` for any `(x, y)` inside leaf `(cx, cy)`. This is the
+    /// kernel the SoA batch sampler gathers from instead of descending the
+    /// tree once per cell.
+    pub fn leaf_totals(&self) -> Vec<f64> {
+        let levels = self.levels.len();
+        let side = self.finest_side();
+        let mut out = vec![0.0f64; side * side];
+        for cy in 0..side {
+            for cx in 0..side {
+                // Same accumulation order as `value_at`: coarse to fine,
+                // starting from 0.0.
+                let mut sum = 0.0;
+                for (l, grid) in self.levels.iter().enumerate() {
+                    let s = 2usize << l;
+                    let shift = levels - 1 - l;
+                    sum += grid[(cy >> shift) * s + (cx >> shift)];
+                }
+                out[cy * side + cx] = sum;
+            }
+        }
+        out
+    }
+
+    /// Finest-level leaf index (`cy * side + cx`) containing the clamped
+    /// point `(x, y)` — the gather index matching [`Self::leaf_totals`].
+    pub fn leaf_index_at(levels: usize, x: f64, y: f64) -> usize {
+        assert!((1..=8).contains(&levels), "levels must be in 1..=8");
+        let side = 2usize << (levels - 1);
+        let x = x.clamp(0.0, 1.0);
+        let y = y.clamp(0.0, 1.0);
+        let cx = ((x * side as f64) as usize).min(side - 1);
+        let cy = ((y * side as f64) as usize).min(side - 1);
+        cy * side + cx
+    }
+
     /// Pearson correlation of the field between two points, computed
     /// analytically from shared quadrants (1 when all levels shared, 0 when
     /// none). Mostly useful for tests and model validation.
@@ -209,6 +256,35 @@ mod tests {
     fn zero_levels_rejected() {
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = QuadTreeField::sample(0, 0.05, &mut rng);
+    }
+
+    #[test]
+    fn leaf_totals_are_bit_identical_to_value_at() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for levels in 1..=4usize {
+            let f = QuadTreeField::sample(levels, 0.07, &mut rng);
+            let totals = f.leaf_totals();
+            let side = f.finest_side();
+            assert_eq!(totals.len(), side * side);
+            // Probe several points per leaf, including exact leaf corners
+            // and the clamped x = 1.0 edge.
+            for cy in 0..side {
+                for cx in 0..side {
+                    for (fx, fy) in [(0.0, 0.0), (0.5, 0.5), (0.999, 0.001)] {
+                        let x = (cx as f64 + fx) / side as f64;
+                        let y = (cy as f64 + fy) / side as f64;
+                        let idx = QuadTreeField::leaf_index_at(levels, x, y);
+                        assert_eq!(idx, cy * side + cx);
+                        assert_eq!(totals[idx], f.value_at(x, y), "leaf ({cx},{cy})");
+                    }
+                }
+            }
+            assert_eq!(
+                f.value_at(1.0, 1.0),
+                totals[side * side - 1],
+                "clamped corner"
+            );
+        }
     }
 
     #[test]
