@@ -483,6 +483,19 @@ impl DataCache {
                 obs::trace::sim_value("cachesim", "eviction.retention", due, "line", idx as f64);
             } else {
                 let usable = self.retention.usable_cycles(idx, &self.cfg.counter);
+                if usable == 0 {
+                    // A dirty line in a dead way cannot be refreshed in
+                    // place (zero usable lifetime: the new deadline would
+                    // equal `due` and the full buffer would be retried at
+                    // the same cycle forever). The cell never truly held
+                    // the data; count the loss as a refresh overrun.
+                    let filled_at = line.filled_at;
+                    line.valid = false;
+                    line.epoch = line.epoch.wrapping_add(1);
+                    self.stats.refresh_overruns += 1;
+                    self.note_dead_line(due, filled_at);
+                    continue;
+                }
                 line.deadline = due + usable;
                 line.epoch = line.epoch.wrapping_add(1);
                 self.stats.writeback_stall_refreshes += 1;

@@ -33,6 +33,7 @@ pub mod cache;
 pub mod geometry;
 pub mod l2;
 pub mod policy;
+pub mod replay;
 pub mod retention;
 pub mod stats;
 
@@ -40,5 +41,6 @@ pub use cache::{AccessKind, AccessResult, CacheConfig, DataCache, PortBusy};
 pub use geometry::Geometry;
 pub use l2::TagCache;
 pub use policy::{RefreshPolicy, ReplacementPolicy, Scheme, WritePolicy};
+pub use replay::{AccessReplayer, DemandSink};
 pub use retention::{CounterSpec, RetentionProfile};
 pub use stats::CacheStats;

@@ -10,6 +10,9 @@
 //! * `cachesim.accesses_per_s` — raw [`cachesim::DataCache`] demand-access
 //!   throughput under a retention scheme;
 //! * `uarch.sim_cycles_per_s` — cycle-level pipeline simulation speed;
+//! * `trace.replay_accesses_per_s` — streaming demand-access replay from
+//!   a recorded trace *file* (decode + schedule + cache access), the hot
+//!   path of `pv3t1d validate`;
 //! * `orchestrator.warm_run_seconds` — end-to-end latency of a fully
 //!   cached scenario run (the `--expect-cached` fast path);
 //! * `trace.disabled_ns_per_call` — cost of one disabled tracer call,
@@ -34,7 +37,7 @@ use t3cache::chip::{ChipModel, ChipPopulation};
 use t3cache::evaluate::{EvalConfig, Evaluator};
 use vlsi::tech::TechNode;
 use vlsi::variation::VariationCorner;
-use workloads::{RecordedTrace, SpecBenchmark};
+use workloads::{RecordedTrace, SpecBenchmark, TraceReader};
 
 /// Bench report schema version, bumped on breaking layout changes.
 pub const BENCH_SCHEMA: u64 = 1;
@@ -241,6 +244,7 @@ struct Sizes {
     cache_accesses: u64,
     uarch_instructions: u64,
     trace_calls: u64,
+    trace_records: u64,
 }
 
 impl Sizes {
@@ -254,6 +258,7 @@ impl Sizes {
                 cache_accesses: 200_000,
                 uarch_instructions: 60_000,
                 trace_calls: 2_000_000,
+                trace_records: 120_000,
             }
         } else {
             Self {
@@ -264,6 +269,7 @@ impl Sizes {
                 cache_accesses: 1_000_000,
                 uarch_instructions: 300_000,
                 trace_calls: 10_000_000,
+                trace_records: 600_000,
             }
         }
     }
@@ -396,6 +402,34 @@ pub fn run_suite(label: &str, quick: bool, workers: usize, verbose: bool) -> Ben
     let dt = t0.elapsed().as_secs_f64().max(1e-9);
     note("uarch.sim_cycles_per_s", sim.cycles as f64 / dt);
 
+    // --- streaming trace-file replay throughput ---------------------
+    // The `pv3t1d validate` hot path end to end: chunked decode from
+    // disk, demand-schedule derivation, and replayed cache accesses.
+    let trace_path =
+        std::env::temp_dir().join(format!("pv3t1d_bench_trace_{}.pvtrace", std::process::id()));
+    workloads::record_bench_to_path(SpecBenchmark::Gzip, 9_004, sizes.trace_records, &trace_path)
+        .expect("recording the bench trace");
+    let mut cache = DataCache::new(
+        CacheConfig::paper(Scheme::partial_refresh_dsp()),
+        RetentionProfile::PerLine((0..1024).map(|i| 20_000 + (i % 7) * 3_000).collect()),
+    );
+    let mut replayer = cachesim::AccessReplayer::new();
+    let t0 = Instant::now();
+    let mut reader = TraceReader::open(&trace_path).expect("bench trace readable");
+    let mut accesses = 0u64;
+    let mut idx = 0u64;
+    while let Some(instr) = reader.next_record().expect("bench trace valid") {
+        if let Some((slot, addr, kind)) = validate::demand_of(idx, &instr) {
+            let _ = replayer.step(&mut cache, slot, addr, kind);
+            accesses += 1;
+        }
+        idx += 1;
+    }
+    let dt = t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(idx, sizes.trace_records, "bench trace replayed short");
+    note("trace.replay_accesses_per_s", accesses as f64 / dt);
+    let _ = std::fs::remove_file(&trace_path);
+
     // --- warm-cache orchestrator latency ----------------------------
     let dir = std::env::temp_dir().join(format!("pv3t1d_bench_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -465,6 +499,7 @@ mod tests {
     fn direction_follows_naming_convention() {
         assert_eq!(direction_of("campaign.chips_per_s.w1"), Direction::HigherIsBetter);
         assert_eq!(direction_of("campaign.speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("trace.replay_accesses_per_s"), Direction::HigherIsBetter);
         assert_eq!(direction_of("orchestrator.warm_run_seconds"), Direction::LowerIsBetter);
         assert_eq!(direction_of("trace.disabled_ns_per_call"), Direction::LowerIsBetter);
         assert_eq!(direction_of("campaign.workers"), Direction::Informational);

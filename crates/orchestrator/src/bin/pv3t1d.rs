@@ -10,11 +10,16 @@
 //! pv3t1d bench  [--quick|--full] [--label L] [--results DIR]
 //!               [--compare PATH] [--threshold PCT] [--jobs N]
 //! pv3t1d report <run.json> [--trace PATH] [--out PATH]
+//! pv3t1d trace  record <bench> <out> [--seed N] [--len N]
+//! pv3t1d trace  info <file>
+//! pv3t1d validate <trace-file> [--scheme NAME]... [--retention NAME]
+//!                              [--tolerance N] [--max-records N] [--out PATH]
 //! ```
 //!
 //! Exit codes: `0` success; `1` at least one stage failed / timed out /
-//! was skipped / was cancelled, `--expect-cached` was violated, or
-//! `bench --compare` found a regression; `2` usage, spec, or I/O errors.
+//! was skipped / was cancelled, `--expect-cached` was violated,
+//! `bench --compare` found a regression, or `validate` found divergence
+//! beyond the tolerance; `2` usage, spec, or I/O errors.
 //!
 //! `run` installs SIGINT/SIGTERM handlers that cancel the scheduler
 //! cooperatively: in-flight campaigns stop at the next unit boundary
@@ -42,6 +47,13 @@ USAGE:
                                              suite, write BENCH_<label>.json
     pv3t1d report <run.json> [OPTIONS]       render a run manifest (and an
                                              optional trace) as markdown
+    pv3t1d trace record <bench> <out> [OPTIONS]
+                                             record a synthetic benchmark
+                                             stream to a trace file
+    pv3t1d trace info <file>                 print a trace file's header
+    pv3t1d validate <trace-file> [OPTIONS]   replay a trace through the
+                                             simulator and the golden model,
+                                             report per-counter divergence
     pv3t1d help                              this text
 
 OPTIONS:
@@ -63,6 +75,18 @@ OPTIONS:
                          exit 1 on regression beyond the threshold
     --threshold <PCT>    (bench) regression noise threshold (default 30)
     --out <PATH>         (report) write markdown here instead of stdout
+                         (validate) also write the JSON divergence report
+    --seed <N>           (trace record) generator seed (default 42)
+    --len <N>            (trace record) instructions to record
+                         (default 200000)
+    --scheme <NAME>      (validate) scheme to check; repeatable (default
+                         no-refresh-lru, partial-dsp, rsp-fifo; also
+                         known: rsp-lru, full-lru)
+    --retention <NAME>   (validate) chip retention profile: infinite,
+                         uniform, mixed, half-dead (default mixed)
+    --tolerance <N>      (validate) max tolerated absolute per-counter
+                         divergence (default 0)
+    --max-records <N>    (validate) replay at most N records (default all)
 ";
 
 struct Cli {
@@ -79,6 +103,12 @@ struct Cli {
     out: Option<PathBuf>,
     quick: bool,
     keep_going: bool,
+    seed: u64,
+    len: u64,
+    schemes: Vec<String>,
+    retention: String,
+    tolerance: u64,
+    max_records: u64,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -99,6 +129,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         out: None,
         quick: true,
         keep_going: false,
+        seed: 42,
+        len: 200_000,
+        schemes: Vec::new(),
+        retention: "mixed".to_string(),
+        tolerance: 0,
+        max_records: 0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -141,6 +177,28 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--out" => cli.out = Some(PathBuf::from(value_of("--out")?)),
+            "--seed" => {
+                cli.seed = value_of("--seed")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--len" => {
+                cli.len = value_of("--len")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--len: {e}"))?;
+            }
+            "--scheme" => cli.schemes.push(value_of("--scheme")?),
+            "--retention" => cli.retention = value_of("--retention")?,
+            "--tolerance" => {
+                cli.tolerance = value_of("--tolerance")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--tolerance: {e}"))?;
+            }
+            "--max-records" => {
+                cli.max_records = value_of("--max-records")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--max-records: {e}"))?;
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => cli.positional.push(PathBuf::from(path)),
         }
@@ -463,6 +521,141 @@ fn cmd_report(cli: &Cli) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `trace record <bench> <out>` / `trace info <file>`: write a synthetic
+/// benchmark stream to the chunked binary container, or print an existing
+/// file's provenance header.
+fn cmd_trace(cli: &Cli) -> Result<ExitCode, String> {
+    let action = cli
+        .positional
+        .first()
+        .map(|p| p.to_string_lossy().into_owned())
+        .ok_or("trace needs an action: record or info")?;
+    match action.as_str() {
+        "record" => {
+            let [_, bench, out] = cli.positional.as_slice() else {
+                return Err("trace record needs <bench> <out>".into());
+            };
+            let bench: workloads::SpecBenchmark = bench.to_string_lossy().parse()?;
+            if let Some(parent) = out.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("{}: {e}", out.display()))?;
+                }
+            }
+            let n = workloads::record_bench_to_path(bench, cli.seed, cli.len, out)
+                .map_err(|e| format!("recording {}: {e}", out.display()))?;
+            let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+            println!(
+                "recorded {bench} seed {} -> {} ({n} records, {bytes} bytes)",
+                cli.seed,
+                out.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "info" => {
+            let [_, file] = cli.positional.as_slice() else {
+                return Err("trace info needs exactly one trace file".into());
+            };
+            let r = workloads::TraceReader::open(file)
+                .map_err(|e| format!("{}: {e}", file.display()))?;
+            let bytes = std::fs::metadata(file).map(|m| m.len()).unwrap_or(0);
+            println!("file:             {}", file.display());
+            println!("name:             {}", r.meta().name);
+            println!("seed:             {}", r.meta().seed);
+            println!("icache miss rate: {:.6}", r.icache_miss_rate());
+            println!("records:          {}", r.total_records());
+            println!("bytes:            {bytes}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown trace action {other:?} (record or info)")),
+    }
+}
+
+/// `validate <trace-file>`: stream the trace through the cycle-level
+/// simulator and the golden reference model for each requested scheme and
+/// diff every counter. Exit 0 when all schemes stay within tolerance,
+/// 1 on divergence, 2 on I/O or corrupt-trace errors.
+fn cmd_validate(cli: &Cli) -> Result<ExitCode, String> {
+    let [path] = cli.positional.as_slice() else {
+        return Err("validate needs exactly one trace file".into());
+    };
+    let schemes: Vec<(String, cachesim::Scheme)> = if cli.schemes.is_empty() {
+        validate::default_schemes()
+            .into_iter()
+            .map(|(n, s)| (n.to_string(), s))
+            .collect()
+    } else {
+        cli.schemes
+            .iter()
+            .map(|n| {
+                validate::scheme_by_name(n)
+                    .map(|s| (n.clone(), s))
+                    .ok_or_else(|| format!("unknown scheme {n:?}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+
+    let mut reports = Json::object();
+    let mut all_within = true;
+    for (name, scheme) in &schemes {
+        let cfg = cachesim::CacheConfig::paper(*scheme);
+        let retention = validate::named_retention(&cli.retention, cfg.geometry.lines())?;
+        // One forward pass per scheme: the reader streams chunk by chunk,
+        // so even a multi-GB trace validates in constant memory.
+        let mut reader = workloads::TraceReader::open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let mut read_err = None;
+        let stream = std::iter::from_fn(|| match reader.next_record() {
+            Ok(r) => r,
+            Err(e) => {
+                read_err = Some(e);
+                None
+            }
+        });
+        let report = if cli.max_records > 0 {
+            validate::run_differential_with(
+                cfg,
+                stream.take(cli.max_records as usize),
+                retention,
+                cli.tolerance,
+            )
+        } else {
+            validate::run_differential_with(cfg, stream, retention, cli.tolerance)
+        };
+        if let Some(e) = read_err {
+            return Err(format!("{}: {e}", path.display()));
+        }
+        print!("{}", report.render_text());
+        all_within &= report.within_tolerance();
+        reports.insert(name, report.to_json());
+    }
+
+    if let Some(out) = &cli.out {
+        let mut doc = Json::object();
+        doc.insert("trace", Json::Str(path.display().to_string()));
+        doc.insert("retention", Json::Str(cli.retention.clone()));
+        doc.insert("tolerance", Json::Num(cli.tolerance as f64));
+        doc.insert("within_tolerance", Json::Bool(all_within));
+        doc.insert("schemes", reports);
+        if let Some(parent) = out.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", out.display()))?;
+            }
+        }
+        std::fs::write(out, doc.render_pretty())
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        println!("report: {}", out.display());
+    }
+
+    if all_within {
+        println!("validate: all {} scheme(s) within tolerance", schemes.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("error: golden-model divergence beyond tolerance {}", cli.tolerance);
+        Ok(ExitCode::from(1))
+    }
+}
+
 fn cmd_gc(cli: &Cli) -> Result<ExitCode, String> {
     if cli.positional.is_empty() {
         return Err("gc needs at least one scenario file (its reachable keys are kept)".into());
@@ -515,6 +708,8 @@ fn main() -> ExitCode {
         "gc" => cmd_gc(&cli),
         "bench" => cmd_bench(&cli),
         "report" => cmd_report(&cli),
+        "trace" => cmd_trace(&cli),
+        "validate" => cmd_validate(&cli),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

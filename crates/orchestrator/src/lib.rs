@@ -50,3 +50,4 @@ pub use sched::{
     StageStatus,
 };
 pub use spec::{Scenario, SpecError, StageSpec};
+pub use stage::effective_params;

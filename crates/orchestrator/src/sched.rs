@@ -273,14 +273,19 @@ impl RunSummary {
 }
 
 /// The cache key of one stage: hash of (fingerprint schema, kind,
-/// canonical params, run scale, dependency-id → artifact-digest map).
-/// Two stages share a key iff nothing observable about their
-/// computation differs.
+/// canonical *effective* params, run scale, dependency-id →
+/// artifact-digest map). Two stages share a key iff nothing observable
+/// about their computation differs. Params are first resolved through
+/// [`crate::stage::effective_params`], which folds content-addressed
+/// file inputs (the `trace_validate` kind's trace bytes) into the
+/// fingerprint — so editing a trace file in place invalidates the
+/// cached artifact even though the path param is unchanged.
 pub fn stage_key(kind: &str, params: &Json, scale: RunScale, deps: &BTreeMap<String, String>) -> String {
+    let params = crate::stage::effective_params(kind, params);
     let mut o = Json::object();
     o.insert("schema", Json::Num(STAGE_SCHEMA as f64));
     o.insert("kind", Json::Str(kind.to_string()));
-    o.insert("params", params.clone());
+    o.insert("params", params);
     o.insert("scale", scale_to_json(scale));
     let mut inputs = Json::object();
     for (id, digest) in deps {

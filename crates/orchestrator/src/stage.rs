@@ -21,6 +21,10 @@
 //!   payload's retention times;
 //! * `report` — aggregates the `compare.*` gauges of its dependencies
 //!   into one measured-vs-paper table;
+//! * `trace_validate` — replays a recorded instruction trace through the
+//!   cycle-level simulator and the golden reference model and reports the
+//!   per-counter divergence (the trace file participates in the cache
+//!   key by content digest, see [`effective_params`]);
 //! * `sleep` / `fail` — timeout- and failure-injection kinds for the
 //!   scheduler's own test suite.
 
@@ -41,14 +45,38 @@ use vlsi::variation::VariationCorner;
 pub const STAGE_SCHEMA: u64 = 1;
 
 /// The non-figure stage kinds.
-const BUILTIN_KINDS: [&str; 6] = [
+const BUILTIN_KINDS: [&str; 7] = [
     "chip_campaign",
     "retention_map",
     "report",
+    "trace_validate",
     "sleep",
     "fail",
     "flaky",
 ];
+
+/// The params a stage is actually fingerprinted and executed with.
+///
+/// For `trace_validate` the `trace` param names a file whose *content*
+/// determines the payload, so the bytes' digest is folded in as a
+/// `trace_digest` param — same path with different content misses the
+/// cache, different path with identical content hits it. An unreadable
+/// file digests to `null`; execution then fails before anything is
+/// cached, so the placeholder never names a payload. All other kinds
+/// pass their params through unchanged.
+pub fn effective_params(kind: &str, params: &Json) -> Json {
+    if kind != "trace_validate" || params.as_obj().is_none() {
+        return params.clone();
+    }
+    let digest = params
+        .get("trace")
+        .and_then(Json::as_str)
+        .and_then(|path| std::fs::read(path).ok())
+        .map(|bytes| crate::hash::content_hash(&bytes));
+    let mut p = params.clone();
+    p.insert("trace_digest", digest.map_or(Json::Null, Json::Str));
+    p
+}
 
 /// Every known stage kind, sorted.
 pub fn known_kinds() -> Vec<&'static str> {
@@ -125,6 +153,7 @@ pub fn execute(kind: &str, ctx: &StageCtx<'_>) -> Result<Json, String> {
         "chip_campaign" => chip_campaign(ctx),
         "retention_map" => retention_map(ctx),
         "report" => report(ctx),
+        "trace_validate" => trace_validate(ctx),
         "sleep" => sleep(ctx),
         "fail" => fail(ctx),
         "flaky" => flaky(ctx),
@@ -358,6 +387,111 @@ fn report(ctx: &StageCtx<'_>) -> Result<Json, String> {
     Ok(p)
 }
 
+/// `trace_validate`: streams a recorded instruction trace (param
+/// `trace`, a file in the [`workloads`] stream container format) through
+/// the cycle-level [`cachesim::DataCache`] and the naive golden model of
+/// the `validate` crate, and reports the per-counter divergence for each
+/// requested scheme. Params: `schemes` (comma-separated
+/// [`validate::scheme_by_name`] names, default the three representative
+/// schemes), `retention` (named profile, default `mixed`), `tolerance`
+/// (max tolerated absolute divergence, default 0), `max_records` (cap on
+/// replayed records, 0 = whole trace), `strict` (default 1 — divergence
+/// beyond tolerance is a stage *failure*, so nothing divergent is ever
+/// cached as a good artifact).
+///
+/// The trace file's bytes are part of the stage fingerprint via
+/// [`effective_params`]; the payload repeats the digest it validated.
+fn trace_validate(ctx: &StageCtx<'_>) -> Result<Json, String> {
+    let path = ctx.str_param("trace", "")?;
+    if path.is_empty() {
+        return Err("trace_validate needs a \"trace\" file path param".into());
+    }
+    let retention_name = ctx.str_param("retention", "mixed")?;
+    let tolerance = ctx.u64_param("tolerance", 0)?;
+    let max_records = ctx.u64_param("max_records", 0)?;
+    let strict = ctx.u64_param("strict", 1)? != 0;
+    let scheme_names: Vec<String> = match ctx.str_param("schemes", "")?.as_str() {
+        "" => validate::default_schemes()
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect(),
+        list => list.split(',').map(|s| s.trim().to_string()).collect(),
+    };
+
+    let bytes = std::fs::read(&path).map_err(|e| format!("reading trace {path:?}: {e}"))?;
+    let digest = crate::hash::content_hash(&bytes);
+    let (meta, total) = {
+        let r = workloads::TraceReader::open(&path)
+            .map_err(|e| format!("opening trace {path:?}: {e}"))?;
+        (r.meta().clone(), r.total_records())
+    };
+
+    let mut schemes = Json::object();
+    let mut divergent: Vec<String> = Vec::new();
+    let mut max_div = 0u64;
+    for name in &scheme_names {
+        let scheme = validate::scheme_by_name(name)
+            .ok_or_else(|| format!("unknown scheme {name:?}"))?;
+        let cfg = cachesim::CacheConfig::paper(scheme);
+        let retention = validate::named_retention(&retention_name, cfg.geometry.lines())?;
+        // Reopen per scheme: the reader is a forward-only stream, and
+        // streaming keeps validation constant-memory on multi-GB traces.
+        let mut reader = workloads::TraceReader::open(&path)
+            .map_err(|e| format!("opening trace {path:?}: {e}"))?;
+        let mut read_err = None;
+        let stream = std::iter::from_fn(|| match reader.next_record() {
+            Ok(r) => r,
+            Err(e) => {
+                read_err = Some(e);
+                None
+            }
+        });
+        let report = if max_records > 0 {
+            validate::run_differential_with(
+                cfg,
+                stream.take(max_records as usize),
+                retention,
+                tolerance,
+            )
+        } else {
+            validate::run_differential_with(cfg, stream, retention, tolerance)
+        };
+        if let Some(e) = read_err {
+            return Err(format!("reading trace {path:?}: {e}"));
+        }
+        if ctx.cancel.is_cancelled() {
+            return Err(format!("cancelled after scheme {name}"));
+        }
+        max_div = max_div.max(report.max_divergence());
+        if !report.within_tolerance() {
+            divergent.push(name.clone());
+        }
+        schemes.insert(name, report.to_json());
+    }
+
+    if strict && !divergent.is_empty() {
+        return Err(format!(
+            "models diverged beyond tolerance {tolerance} for scheme(s) {} \
+             (max divergence {max_div})",
+            divergent.join(", ")
+        ));
+    }
+
+    let mut p = Json::object();
+    p.insert("kind", Json::Str("trace_validate".into()));
+    p.insert("trace", Json::Str(path));
+    p.insert("trace_digest", Json::Str(digest));
+    p.insert("trace_name", Json::Str(meta.name));
+    p.insert("trace_seed", Json::Num(meta.seed as f64));
+    p.insert("total_records", Json::Num(total as f64));
+    p.insert("retention", Json::Str(retention_name));
+    p.insert("tolerance", Json::Num(tolerance as f64));
+    p.insert("max_divergence", Json::Num(max_div as f64));
+    p.insert("within_tolerance", Json::Bool(divergent.is_empty()));
+    p.insert("schemes", schemes);
+    Ok(p)
+}
+
 /// `sleep`: sleeps `seconds` (default 0.05) — the scheduler test suite's
 /// controllable slow stage. The payload records only the *requested*
 /// duration, keeping it deterministic.
@@ -544,6 +678,99 @@ mod tests {
         };
         let err = execute("chip_campaign", &c).unwrap_err();
         assert!(err.contains("cancelled"), "{err}");
+    }
+
+    fn temp_trace(tag: &str, len: u64) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "pv3t1d_stage_trace_{tag}_{}.pvtrace",
+            std::process::id()
+        ));
+        workloads::record_bench_to_path(workloads::SpecBenchmark::Gcc, 7, len, &path)
+            .expect("recording a trace");
+        path
+    }
+
+    #[test]
+    fn trace_validate_agrees_on_a_recorded_trace() {
+        let path = temp_trace("ok", 1_200);
+        let mut params = Json::object();
+        params.insert("trace", Json::Str(path.display().to_string()));
+        params.insert("retention", Json::Str("mixed".into()));
+        let inputs = BTreeMap::new();
+        let p = execute("trace_validate", &ctx(&params, &inputs)).unwrap();
+        assert_eq!(p.get("within_tolerance").and_then(Json::as_bool), Some(true));
+        assert_eq!(p.get("max_divergence").and_then(Json::as_u64), Some(0));
+        assert_eq!(p.get("total_records").and_then(Json::as_u64), Some(1_200));
+        let schemes = p.get("schemes").and_then(Json::as_obj).unwrap();
+        assert_eq!(schemes.len(), 3);
+        // The payload pins the trace content it validated.
+        let digest = crate::hash::content_hash(&std::fs::read(&path).unwrap());
+        assert_eq!(p.get("trace_digest").and_then(Json::as_str), Some(digest.as_str()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_validate_rejects_bad_params() {
+        let path = temp_trace("bad", 64);
+        let inputs = BTreeMap::new();
+        for (tag, params) in [
+            ("no trace", Json::object()),
+            ("missing file", {
+                let mut p = Json::object();
+                p.insert("trace", Json::Str("/nonexistent/x.pvtrace".into()));
+                p
+            }),
+            ("unknown scheme", {
+                let mut p = Json::object();
+                p.insert("trace", Json::Str(path.display().to_string()));
+                p.insert("schemes", Json::Str("warp-drive".into()));
+                p
+            }),
+            ("unknown retention", {
+                let mut p = Json::object();
+                p.insert("trace", Json::Str(path.display().to_string()));
+                p.insert("retention", Json::Str("imaginary".into()));
+                p
+            }),
+        ] {
+            assert!(
+                execute("trace_validate", &ctx(&params, &inputs)).is_err(),
+                "{tag}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn effective_params_digests_trace_content_not_path() {
+        let a = temp_trace("dig_a", 256);
+        let mut pa = Json::object();
+        pa.insert("trace", Json::Str(a.display().to_string()));
+        let ea = effective_params("trace_validate", &pa);
+        let digest = ea.get("trace_digest").and_then(Json::as_str).unwrap().to_string();
+        assert_eq!(digest, crate::hash::content_hash(&std::fs::read(&a).unwrap()));
+
+        // Identical content at a different path → identical digest.
+        let b = std::env::temp_dir().join(format!(
+            "pv3t1d_stage_trace_dig_b_{}.pvtrace",
+            std::process::id()
+        ));
+        std::fs::copy(&a, &b).unwrap();
+        let mut pb = Json::object();
+        pb.insert("trace", Json::Str(b.display().to_string()));
+        let eb = effective_params("trace_validate", &pb);
+        assert_eq!(eb.get("trace_digest").and_then(Json::as_str), Some(digest.as_str()));
+
+        // Unreadable file → null placeholder, not a panic.
+        let mut pm = Json::object();
+        pm.insert("trace", Json::Str("/nonexistent/x.pvtrace".into()));
+        let em = effective_params("trace_validate", &pm);
+        assert_eq!(em.get("trace_digest"), Some(&Json::Null));
+
+        // Other kinds pass through untouched.
+        assert_eq!(effective_params("chip_campaign", &pa).render(), pa.render());
+        let _ = std::fs::remove_file(&a);
+        let _ = std::fs::remove_file(&b);
     }
 
     #[test]

@@ -25,9 +25,13 @@
 pub mod analysis;
 pub mod profile;
 pub mod replay;
+pub mod stream;
 pub mod trace;
 
 pub use analysis::{analyze, StackDistanceProfiler, TraceStats};
 pub use profile::{BuildProfileError, Profile, ProfileBuilder, SpecBenchmark};
 pub use replay::{RecordedTrace, ReplayTrace};
+pub use stream::{
+    record_bench_to_path, record_synthetic, TraceError, TraceMeta, TraceReader, TraceWriter,
+};
 pub use trace::SyntheticTrace;

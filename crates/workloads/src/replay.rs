@@ -58,9 +58,28 @@ impl RecordedTrace {
 
     /// A fresh cursor over the recorded stream, starting at instruction 0.
     pub fn replay(&self) -> ReplayTrace<'_> {
+        self.replay_from(0)
+    }
+
+    /// A cursor resuming at `pos` instructions consumed — the checkpoint
+    /// counterpart of [`ReplayTrace::consumed`]. A cancelled consumer
+    /// persists `consumed()`, and `replay_from(consumed)` continues the
+    /// stream exactly where it stopped, so trace replay composes with the
+    /// campaign checkpoint/resume machinery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` exceeds the recording's length (a stale or foreign
+    /// checkpoint — resuming there would silently skip instructions).
+    pub fn replay_from(&self, pos: usize) -> ReplayTrace<'_> {
+        assert!(
+            pos <= self.instrs.len(),
+            "resume position {pos} beyond recording length {}",
+            self.instrs.len()
+        );
         ReplayTrace {
             instrs: &self.instrs,
-            pos: 0,
+            pos,
         }
     }
 }
@@ -80,9 +99,15 @@ pub struct ReplayTrace<'a> {
 }
 
 impl ReplayTrace<'_> {
-    /// Instructions consumed so far.
+    /// Instructions consumed so far — persist this to resume the stream
+    /// later via [`RecordedTrace::replay_from`].
     pub fn consumed(&self) -> usize {
         self.pos
+    }
+
+    /// Instructions left before the cursor exhausts the recording.
+    pub fn remaining(&self) -> usize {
+        self.instrs.len() - self.pos
     }
 }
 
@@ -126,6 +151,41 @@ mod tests {
         let first = a.next_instr();
         let _ = a.next_instr();
         assert_eq!(b.next_instr(), first, "cursors must not share position");
+    }
+
+    #[test]
+    fn cancel_mid_replay_resumes_bit_identically() {
+        // A consumer cancelled mid-stream persists `consumed()` (the way
+        // a campaign unit checkpoint would) and resumes from it; the
+        // stitched stream must equal an uninterrupted replay.
+        let recorded = RecordedTrace::record(SpecBenchmark::Twolf.profile(), 77, 2_000);
+        let full: Vec<Instruction> = {
+            let mut r = recorded.replay();
+            (0..2_000).map(|_| r.next_instr()).collect()
+        };
+        let mut cursor = recorded.replay();
+        let mut stitched = Vec::new();
+        // Cancel at three arbitrary points, dropping the cursor each time.
+        for stop in [313usize, 1_024, 1_999] {
+            while cursor.consumed() < stop {
+                stitched.push(cursor.next_instr());
+            }
+            let checkpoint = cursor.consumed();
+            cursor = recorded.replay_from(checkpoint);
+            assert_eq!(cursor.consumed(), checkpoint);
+            assert_eq!(cursor.remaining(), 2_000 - checkpoint);
+        }
+        while cursor.remaining() > 0 {
+            stitched.push(cursor.next_instr());
+        }
+        assert_eq!(stitched, full);
+    }
+
+    #[test]
+    #[should_panic(expected = "resume position 11 beyond recording length 10")]
+    fn resume_past_end_panics() {
+        let recorded = RecordedTrace::record(SpecBenchmark::Gzip.profile(), 1, 10);
+        let _ = recorded.replay_from(11);
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Golden round-trip armor for the streaming trace container: every
+//! synthetic profile must survive record → write → read → replay
+//! bit-identically, at both the instruction level and the full
+//! pipeline-simulation level, and damaged files must fail as clean
+//! errors, never panics.
+
+use cachesim::{CacheConfig, DataCache, RetentionProfile, Scheme};
+use std::io::Cursor;
+use uarch::instr::TraceSource;
+use uarch::sim::simulate;
+use workloads::stream::{record_synthetic, TraceError, TraceReader, CHUNK_RECORDS};
+use workloads::{RecordedTrace, SpecBenchmark, SyntheticTrace};
+
+const LEN: u64 = 6_000;
+const SEED: u64 = 2024;
+
+fn recorded_bytes(bench: SpecBenchmark, seed: u64, len: u64) -> Vec<u8> {
+    record_synthetic(
+        bench.profile(),
+        &bench.to_string(),
+        seed,
+        len,
+        Cursor::new(Vec::new()),
+    )
+    .expect("in-memory recording cannot fail")
+    .into_inner()
+}
+
+#[test]
+fn all_profiles_roundtrip_bit_identical_to_direct_generation() {
+    for bench in SpecBenchmark::ALL {
+        let bytes = recorded_bytes(bench, SEED, LEN);
+        let mut reader = TraceReader::new(Cursor::new(bytes)).expect("valid header");
+        assert_eq!(reader.meta().name, bench.to_string());
+        assert_eq!(reader.meta().seed, SEED);
+        assert_eq!(reader.total_records(), LEN);
+
+        let mut fresh = SyntheticTrace::new(bench.profile(), SEED);
+        assert_eq!(reader.icache_miss_rate(), fresh.icache_miss_rate(), "{bench}");
+        for i in 0..LEN {
+            let from_file = reader.next_record().expect("clean read").expect("in range");
+            assert_eq!(from_file, fresh.next_instr(), "{bench} instr {i}");
+        }
+        assert!(reader.next_record().expect("clean end").is_none());
+    }
+}
+
+#[test]
+fn file_replay_matches_recorded_trace_replay() {
+    // The two capture paths (in-memory RecordedTrace, on-disk container)
+    // must agree instruction for instruction.
+    for bench in [SpecBenchmark::Gcc, SpecBenchmark::Mcf] {
+        let bytes = recorded_bytes(bench, 7, 3_000);
+        let reader = TraceReader::new(Cursor::new(bytes)).expect("valid header");
+        let recorded = RecordedTrace::record(bench.profile(), 7, 3_000);
+        let mut replay = recorded.replay();
+        for (i, from_file) in reader.map(|r| r.expect("clean read")).enumerate() {
+            assert_eq!(from_file, replay.next_instr(), "{bench} instr {i}");
+        }
+        assert_eq!(replay.consumed(), 3_000);
+    }
+}
+
+#[test]
+fn pipeline_simulation_over_file_is_bit_identical() {
+    // The acceptance-level check: a full uarch+cachesim simulation driven
+    // from the trace file must produce byte-for-byte identical results to
+    // one driven by the live generator.
+    for bench in [SpecBenchmark::Gzip, SpecBenchmark::Twolf] {
+        let bytes = recorded_bytes(bench, SEED, LEN);
+        let mut reader = TraceReader::new(Cursor::new(bytes)).expect("valid header");
+
+        let retention = RetentionProfile::PerLine(
+            (0..1024).map(|i| 4_000 + (i % 7) * 3_000).collect(),
+        );
+        let cfg = CacheConfig::paper(Scheme::partial_refresh_dsp());
+        let mut cache_file = DataCache::new(cfg, retention.clone());
+        let mut cache_live = DataCache::new(cfg, retention);
+
+        let sim_instrs = 4_000; // leaves in-flight slack inside LEN
+        let file_rate = reader.icache_miss_rate();
+        let from_file = simulate(&mut reader, &mut cache_file, sim_instrs, file_rate);
+        let mut live = SyntheticTrace::new(bench.profile(), SEED);
+        let rate = live.icache_miss_rate();
+        let from_live = simulate(&mut live, &mut cache_live, sim_instrs, rate);
+
+        assert_eq!(from_file, from_live, "{bench} SimResult");
+        assert_eq!(cache_file.stats(), cache_live.stats(), "{bench} CacheStats");
+        assert_eq!(
+            cache_file.l2().hits(),
+            cache_live.l2().hits(),
+            "{bench} L2 hits"
+        );
+    }
+}
+
+#[test]
+fn corrupt_chunks_and_truncations_never_panic() {
+    let bytes = recorded_bytes(SpecBenchmark::Applu, 3, CHUNK_RECORDS as u64 + 500);
+
+    // Flip every 97th byte (one at a time) and stream to the end: each
+    // damaged file must produce Ok records then at most one clean error.
+    for pos in (0..bytes.len()).step_by(97) {
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 0x40;
+        match TraceReader::new(Cursor::new(damaged)) {
+            Err(_) => {} // header damage: clean open failure
+            Ok(reader) => {
+                let mut saw_err = false;
+                for rec in reader {
+                    match rec {
+                        Ok(_) => assert!(!saw_err, "records after a poisoned error"),
+                        Err(_) => saw_err = true,
+                    }
+                }
+            }
+        }
+    }
+
+    // Truncate at every boundary class: header, chunk header, payload.
+    for cut in [0, 5, 20, 41, 50, 60, 1_000, bytes.len() - 3] {
+        match TraceReader::new(Cursor::new(bytes[..cut].to_vec())) {
+            Err(e) => {
+                assert!(
+                    !matches!(e, TraceError::Io(_)),
+                    "truncation must map to a domain error, got {e}"
+                );
+            }
+            Ok(reader) => {
+                let err = reader
+                    .filter_map(|r| r.err())
+                    .next()
+                    .expect("truncated body must surface an error");
+                assert!(matches!(err, TraceError::Truncated { .. }), "cut {cut}: {err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reader_cursor_resumes_across_reopen() {
+    // The streaming analogue of the cancel-mid-replay test: a consumer
+    // records `position()`, reopens the file, seeks forward, and the
+    // stitched stream equals an uninterrupted read.
+    let bytes = recorded_bytes(SpecBenchmark::Mesa, 11, 5_000);
+    let full: Vec<_> = TraceReader::new(Cursor::new(bytes.clone()))
+        .expect("valid header")
+        .map(|r| r.expect("clean read"))
+        .collect();
+
+    let mut stitched = Vec::new();
+    let mut checkpoint = 0u64;
+    for stop in [1_500u64, 4_096, 5_000] {
+        let mut r = TraceReader::new(Cursor::new(bytes.clone())).expect("valid header");
+        r.seek_to(checkpoint).expect("resume at checkpoint");
+        while r.position() < stop {
+            stitched.push(r.next_record().expect("clean read").expect("in range"));
+        }
+        checkpoint = r.position(); // "cancel": drop the reader
+    }
+    assert_eq!(stitched, full);
+}

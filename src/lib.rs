@@ -17,7 +17,11 @@
 //!   RSP-FIFO / RSP-LRU placement policies;
 //! * [`uarch`] — the Table 2 out-of-order core (sim-alpha substitute)
 //!   with a 21264 tournament predictor;
-//! * [`workloads`] — calibrated synthetic SPEC2000-like trace generators;
+//! * [`workloads`] — calibrated synthetic SPEC2000-like trace generators
+//!   and the chunked streaming trace-file container;
+//! * [`validate`] — the golden-model differential harness: a naive
+//!   reference cache replayed against [`cachesim`] over identical access
+//!   schedules, with per-counter divergence reports;
 //! * [`t3cache`] — the paper's evaluation machinery: chip populations,
 //!   scheme evaluation normalized to ideal 6T, the §5 sensitivity sweep,
 //!   and Table 3;
@@ -53,6 +57,7 @@ pub use cachesim;
 pub use obs;
 pub use t3cache;
 pub use uarch;
+pub use validate;
 pub use vlsi;
 pub use workloads;
 
@@ -68,5 +73,6 @@ pub mod prelude {
     pub use obs::{MetricsRegistry, RunManifest};
     pub use uarch::{sim::simulate_warmed, Instruction, MachineConfig, TraceSource};
     pub use vlsi::{ChipFactory, TechNode, VariationCorner, VariationParams};
-    pub use workloads::{Profile, SpecBenchmark, SyntheticTrace};
+    pub use validate::{run_differential, DivergenceReport, GoldenCache};
+    pub use workloads::{Profile, SpecBenchmark, SyntheticTrace, TraceReader, TraceWriter};
 }
