@@ -18,7 +18,10 @@
 //! * [`trace`] — a process-global hierarchical span tracer (thread-aware
 //!   spans, instants, counters, and cycle-stamped simulator events) with
 //!   a ring buffer and Chrome trace-event JSON export, near-zero cost
-//!   while disabled.
+//!   while disabled;
+//! * [`EventBus`] — an append-only, cursor-replayable progress-event log
+//!   the scheduler publishes into and the `pv3t1d serve` daemon streams
+//!   to clients as newline-delimited JSON.
 //!
 //! # Determinism contract
 //!
@@ -54,12 +57,14 @@
 #![warn(missing_docs)]
 
 pub mod cancel;
+pub mod events;
 pub mod json;
 pub mod manifest;
 pub mod registry;
 pub mod trace;
 
 pub use cancel::CancelToken;
+pub use events::EventBus;
 pub use json::{Json, JsonError};
 pub use manifest::{RunManifest, SCHEMA_VERSION};
 pub use registry::{FixedHistogram, MetricsRegistry, NONFINITE_DROPPED};

@@ -153,11 +153,14 @@ pub enum Direction {
 }
 
 /// Classifies a metric by naming convention (see the module docs).
-/// `_per_s` may be followed by a variant tag (`campaign.chips_per_s.w1`).
+/// `_per_s` may be followed by a variant tag (`campaign.chips_per_s.w1`);
+/// `_ms` covers the serving-latency percentiles (`serve.p50_ms`,
+/// `serve.p99_ms`), gated lower-is-better like the other latency styles.
 pub fn direction_of(name: &str) -> Direction {
     if name.ends_with("_per_s") || name.contains("_per_s.") || name.ends_with(".speedup") {
         Direction::HigherIsBetter
-    } else if name.ends_with("_seconds") || name.ends_with("_ns_per_call") {
+    } else if name.ends_with("_seconds") || name.ends_with("_ns_per_call") || name.ends_with("_ms")
+    {
         Direction::LowerIsBetter
     } else {
         Direction::Informational
@@ -437,10 +440,8 @@ pub fn run_suite(label: &str, quick: bool, workers: usize, verbose: bool) -> Ben
     let opts = RunOptions {
         jobs: 2,
         results_dir: dir.clone(),
-        use_cache: true,
         scale_override: Some(RunScale::QUICK),
-        verbose: false,
-        cancel: None,
+        ..RunOptions::default()
     };
     let cold = run_scenario(&sc, &opts).expect("bench scenario is valid");
     assert!(cold.ok(), "bench scenario must run cleanly");
@@ -502,6 +503,10 @@ mod tests {
         assert_eq!(direction_of("trace.replay_accesses_per_s"), Direction::HigherIsBetter);
         assert_eq!(direction_of("orchestrator.warm_run_seconds"), Direction::LowerIsBetter);
         assert_eq!(direction_of("trace.disabled_ns_per_call"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("serve.p50_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("serve.p99_ms"), Direction::LowerIsBetter);
+        assert_eq!(direction_of("serve.requests_per_s"), Direction::HigherIsBetter);
+        assert_eq!(direction_of("serve.coalesced_total"), Direction::Informational);
         assert_eq!(direction_of("campaign.workers"), Direction::Informational);
     }
 

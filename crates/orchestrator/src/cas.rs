@@ -58,18 +58,37 @@ pub struct CasListing {
     pub bytes: u64,
 }
 
-/// What [`ArtifactStore::gc_keep`] did.
+/// What [`ArtifactStore::gc_keep`] (or [`ArtifactStore::gc_bounded`])
+/// did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcReport {
     /// Entries retained because their key was in the keep set.
     pub kept: usize,
-    /// Entries removed (unreferenced or corrupt).
+    /// Entries removed (unreferenced, corrupt, or LRU-evicted).
     pub removed: usize,
     /// Bytes freed by the removals.
     pub bytes_freed: u64,
     /// Unreferenced entries spared because they were written after the
     /// gc's cutoff instant (a concurrent `run` may own them).
     pub skipped_fresh: usize,
+    /// Of `removed`, how many were healthy entries evicted oldest-first
+    /// by [`ArtifactStore::gc_bounded`]'s size budget (0 for plain
+    /// keep-set gcs).
+    pub lru_evicted: usize,
+}
+
+impl GcReport {
+    /// Machine-readable form for `pv3t1d gc --json`, the janitor's
+    /// telemetry, and CI assertions.
+    pub fn to_json(&self) -> Json {
+        let mut o = Json::object();
+        o.insert("kept", Json::Num(self.kept as f64));
+        o.insert("removed", Json::Num(self.removed as f64));
+        o.insert("bytes_freed", Json::Num(self.bytes_freed as f64));
+        o.insert("skipped_fresh", Json::Num(self.skipped_fresh as f64));
+        o.insert("lru_evicted", Json::Num(self.lru_evicted as f64));
+        o
+    }
 }
 
 /// A flat directory of content-addressed artifacts.
@@ -230,6 +249,75 @@ impl ArtifactStore {
             report.bytes_freed += row.bytes;
             if !dry_run {
                 self.remove(&row.key)?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Size/LRU-bounded gc — the continuous-janitor policy. Unlike
+    /// [`ArtifactStore::gc_keep`], *nothing is garbage by default*: a
+    /// multi-tenant daemon cannot enumerate every scenario its clients
+    /// may resubmit, so healthy entries are kept while the store fits in
+    /// `max_bytes` and evicted **oldest-mtime-first** once it does not.
+    ///
+    /// Invariants:
+    /// * corrupt entries are always removed (they can never be hits);
+    /// * entries in `keep` are never evicted, whatever the budget;
+    /// * entries modified after `cutoff` are never evicted (the PR 5
+    ///   `skipped_fresh` race guard: a concurrent run may own them) —
+    ///   pass the janitor's scan-start instant minus its freshness
+    ///   window;
+    /// * checkpoint sub-entries (`<key>.u<i>`) ride with their base key:
+    ///   kept while the base is kept, and counted against the budget.
+    pub fn gc_bounded(
+        &self,
+        keep: &BTreeSet<String>,
+        max_bytes: u64,
+        dry_run: bool,
+        cutoff: Option<SystemTime>,
+    ) -> io::Result<GcReport> {
+        let mut report = GcReport::default();
+        // Oldest-first queue of healthy, evictable entries.
+        let mut candidates: Vec<(SystemTime, String, u64)> = Vec::new();
+        let mut total_bytes = 0u64;
+        for row in self.ls() {
+            if row.kind.is_none() {
+                report.removed += 1;
+                report.bytes_freed += row.bytes;
+                if !dry_run {
+                    self.remove(&row.key)?;
+                }
+                continue;
+            }
+            total_bytes += row.bytes;
+            let pinned = keep.contains(&row.key)
+                || checkpoint_base(&row.key).is_some_and(|base| keep.contains(base));
+            let mtime = std::fs::metadata(self.path_for(&row.key))
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            let fresh = cutoff.is_some_and(|c| mtime > c);
+            if pinned || fresh {
+                if fresh && !pinned {
+                    report.skipped_fresh += 1;
+                }
+                report.kept += 1;
+                continue;
+            }
+            candidates.push((mtime, row.key, row.bytes));
+        }
+        candidates.sort();
+        let mut over = total_bytes.saturating_sub(max_bytes);
+        for (_, key, bytes) in candidates {
+            if over == 0 {
+                report.kept += 1;
+                continue;
+            }
+            report.removed += 1;
+            report.lru_evicted += 1;
+            report.bytes_freed += bytes;
+            over = over.saturating_sub(bytes);
+            if !dry_run {
+                self.remove(&key)?;
             }
         }
         Ok(report)
@@ -479,6 +567,71 @@ mod tests {
         let report = store.gc_keep(&keep, false).unwrap();
         assert_eq!(report.removed, 1);
         assert!(store.get("fresh").is_none());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_bounded_evicts_oldest_first_down_to_the_budget() {
+        let store = temp_store("gc_bounded");
+        // Three entries with strictly increasing mtimes.
+        for (i, key) in ["oldest", "middle", "newest"].iter().enumerate() {
+            store.put(key, "unit", &payload(i as f64)).unwrap();
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+        let bytes_each = std::fs::metadata(store.path_for("oldest")).unwrap().len();
+
+        // Budget fits everything: nothing is evicted.
+        let report = store
+            .gc_bounded(&BTreeSet::new(), bytes_each * 10, false, None)
+            .unwrap();
+        assert_eq!((report.kept, report.removed, report.lru_evicted), (3, 0, 0));
+        assert_eq!(report.to_json().get("lru_evicted").unwrap().as_u64(), Some(0));
+
+        // Budget for ~two entries: the oldest goes, the rest stay.
+        let report = store
+            .gc_bounded(&BTreeSet::new(), bytes_each * 2, false, None)
+            .unwrap();
+        assert_eq!((report.kept, report.lru_evicted), (2, 1));
+        assert!(store.get("oldest").is_none(), "oldest entry must be evicted");
+        assert!(store.get("middle").is_some());
+        assert!(store.get("newest").is_some());
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn gc_bounded_respects_keep_set_freshness_and_corruption() {
+        let store = temp_store("gc_bounded_pins");
+        store.put("pinned_old", "unit", &payload(1.0)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        store.put("evictable", "unit", &payload(2.0)).unwrap();
+        store.put("rot", "unit", &payload(3.0)).unwrap();
+        std::fs::write(store.path_for("rot"), "{not json").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        let cutoff = SystemTime::now();
+        // Outrun coarse filesystem mtime granularity so `fresh` is
+        // unambiguously after the cutoff.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        store.put("fresh", "unit", &payload(4.0)).unwrap();
+
+        // Zero budget wants everything gone — but the keep set pins the
+        // oldest entry, the cutoff spares the freshest, and only the
+        // unpinned stale entry (plus the corrupt one) is collected.
+        let keep: BTreeSet<String> = ["pinned_old".to_string()].into();
+        let report = store.gc_bounded(&keep, 0, false, Some(cutoff)).unwrap();
+        assert_eq!(report.kept, 2, "pinned + fresh survive");
+        assert_eq!(report.lru_evicted, 1);
+        assert_eq!(report.removed, 2, "evictable + corrupt");
+        assert_eq!(report.skipped_fresh, 1);
+        assert!(store.get("pinned_old").is_some());
+        assert!(store.get("fresh").is_some());
+        assert!(store.get("evictable").is_none());
+        assert!(!store.path_for("rot").exists());
+
+        // Dry run reports without deleting.
+        let report = store.gc_bounded(&BTreeSet::new(), 0, true, None).unwrap();
+        assert_eq!(report.lru_evicted, 2);
+        assert!(store.get("pinned_old").is_some());
+        assert!(store.get("fresh").is_some());
         let _ = std::fs::remove_dir_all(store.root());
     }
 

@@ -1,0 +1,266 @@
+//! In-flight request coalescing over content-addressed stage keys.
+//!
+//! The CAS already deduplicates *completed* work: a stage whose key is on
+//! disk is a hit. The [`FlightTable`] closes the remaining window — work
+//! that is *currently executing*. When several scheduler invocations
+//! (the daemon's concurrent jobs) reach the same [`stage
+//! key`](crate::sched::stage_key) at the same time, the first becomes the
+//! **leader** and computes; every other becomes a **follower** and blocks
+//! until the leader publishes its result, then observes the identical
+//! payload (and therefore the identical artifact digest and run
+//! fingerprint). Since the key fingerprints kind, canonical params,
+//! scale, and the whole upstream cone, sharing a result across jobs is
+//! exactly as safe as sharing a cache hit.
+//!
+//! Followers poll their [`CancelToken`] while waiting, so a cancelled
+//! job abandons the wait promptly (the leader, running under its own
+//! job's token, keeps going for any remaining followers).
+
+use crate::sched::{StageError, StageErrorKind};
+use obs::{CancelToken, Json};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How often a blocked follower re-checks its cancel token.
+const FOLLOWER_POLL: Duration = Duration::from_millis(100);
+
+/// One key's in-flight state.
+#[derive(Debug)]
+struct Flight {
+    /// `None` while the leader is still computing.
+    result: Option<Result<Json, StageError>>,
+    /// Followers currently blocked on this key; the last one out (or the
+    /// leader, if nobody waited) retires the entry.
+    waiters: usize,
+}
+
+/// A process-wide table of in-flight stage computations, shared across
+/// scheduler invocations via `Arc` (see [`crate::RunOptions::flight`]).
+#[derive(Debug, Default)]
+pub struct FlightTable {
+    flights: Mutex<HashMap<String, Flight>>,
+    cv: Condvar,
+    executed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl FlightTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stage executions this table actually ran (leader computations).
+    pub fn executed_total(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Stage requests served by piggybacking on a concurrent leader.
+    pub fn coalesced_total(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Runs `compute` for `key` — or, if another thread is already
+    /// running it, waits for that leader's result instead. Returns the
+    /// result and whether it was coalesced (`true` = follower).
+    ///
+    /// A follower whose `cancel` token fires while waiting gives up with
+    /// a `cancelled`-kind [`StageError`]; the computation itself is
+    /// unaffected.
+    pub fn run_or_wait(
+        &self,
+        key: &str,
+        cancel: &CancelToken,
+        compute: impl FnOnce() -> Result<Json, StageError>,
+    ) -> (Result<Json, StageError>, bool) {
+        {
+            let mut flights = self.flights.lock().expect("flight table poisoned");
+            match flights.get_mut(key) {
+                None => {
+                    // Leader: claim the key and compute outside the lock.
+                    flights.insert(
+                        key.to_string(),
+                        Flight {
+                            result: None,
+                            waiters: 0,
+                        },
+                    );
+                }
+                Some(flight) => {
+                    // Follower: wait for the leader to publish.
+                    flight.waiters += 1;
+                    return (self.wait_for(key, flights, cancel), true);
+                }
+            }
+        }
+
+        let result = compute();
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let mut flights = self.flights.lock().expect("flight table poisoned");
+        let flight = flights.get_mut(key).expect("leader owns the flight entry");
+        if flight.waiters == 0 {
+            flights.remove(key);
+        } else {
+            flight.result = Some(result.clone());
+            self.cv.notify_all();
+        }
+        (result, false)
+    }
+
+    /// Follower path: blocks (re-checking `cancel` every
+    /// [`FOLLOWER_POLL`]) until the leader publishes for `key`, then
+    /// takes a copy of the result and retires the entry if it was the
+    /// last waiter.
+    fn wait_for(
+        &self,
+        key: &str,
+        mut flights: std::sync::MutexGuard<'_, HashMap<String, Flight>>,
+        cancel: &CancelToken,
+    ) -> Result<Json, StageError> {
+        loop {
+            let Some(flight) = flights.get_mut(key) else {
+                // The leader retired the entry between our registration
+                // and this wake-up — possible only through the last-
+                // waiter cleanup below, never while we are registered.
+                unreachable!("flight entry vanished under a registered waiter");
+            };
+            if let Some(result) = flight.result.clone() {
+                flight.waiters -= 1;
+                if flight.waiters == 0 {
+                    flights.remove(key);
+                }
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return result;
+            }
+            if cancel.is_cancelled() {
+                flight.waiters -= 1;
+                // Never remove here: the leader still owns the entry.
+                return Err(StageError {
+                    kind: StageErrorKind::Cancelled,
+                    message: "cancelled while waiting for a coalesced stage".into(),
+                });
+            }
+            flights = self
+                .cv
+                .wait_timeout(flights, FOLLOWER_POLL)
+                .expect("flight table poisoned")
+                .0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn payload(n: f64) -> Json {
+        let mut o = Json::object();
+        o.insert("value", Json::Num(n));
+        o
+    }
+
+    #[test]
+    fn concurrent_identical_keys_execute_exactly_once() {
+        let table = Arc::new(FlightTable::new());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let table = table.clone();
+            let executions = executions.clone();
+            handles.push(std::thread::spawn(move || {
+                let cancel = CancelToken::new();
+                table.run_or_wait("shared-key", &cancel, || {
+                    executions.fetch_add(1, Ordering::SeqCst);
+                    // Hold the flight open long enough that every other
+                    // thread registers as a follower.
+                    std::thread::sleep(Duration::from_millis(150));
+                    Ok(payload(42.0))
+                })
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(executions.load(Ordering::SeqCst), 1, "exactly one leader");
+        for (result, _) in &results {
+            assert_eq!(result.as_ref().unwrap(), &payload(42.0));
+        }
+        assert_eq!(results.iter().filter(|(_, c)| !c).count(), 1);
+        assert_eq!(table.executed_total(), 1);
+        assert_eq!(table.coalesced_total(), 7);
+        // The entry retired: a later request leads a fresh flight.
+        let (_, coalesced) =
+            table.run_or_wait("shared-key", &CancelToken::new(), || Ok(payload(1.0)));
+        assert!(!coalesced);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let table = Arc::new(FlightTable::new());
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let table = table.clone();
+            handles.push(std::thread::spawn(move || {
+                table.run_or_wait(&format!("key-{i}"), &CancelToken::new(), || {
+                    Ok(payload(i as f64))
+                })
+            }));
+        }
+        for h in handles {
+            let (_, coalesced) = h.join().unwrap();
+            assert!(!coalesced);
+        }
+        assert_eq!(table.executed_total(), 4);
+        assert_eq!(table.coalesced_total(), 0);
+    }
+
+    #[test]
+    fn followers_observe_leader_errors() {
+        let table = Arc::new(FlightTable::new());
+        let t2 = table.clone();
+        let leader = std::thread::spawn(move || {
+            t2.run_or_wait("bad", &CancelToken::new(), || {
+                std::thread::sleep(Duration::from_millis(120));
+                Err(StageError {
+                    kind: StageErrorKind::Panic,
+                    message: "boom".into(),
+                })
+            })
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let (result, coalesced) =
+            table.run_or_wait("bad", &CancelToken::new(), || unreachable!("follower"));
+        assert!(coalesced);
+        let err = result.unwrap_err();
+        assert_eq!(err.kind, StageErrorKind::Panic);
+        assert_eq!(err.message, "boom");
+        leader.join().unwrap().0.unwrap_err();
+    }
+
+    #[test]
+    fn cancelled_follower_gives_up_without_blocking_the_leader() {
+        let table = Arc::new(FlightTable::new());
+        let t2 = table.clone();
+        let leader = std::thread::spawn(move || {
+            t2.run_or_wait("slow", &CancelToken::new(), || {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(payload(5.0))
+            })
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let t0 = std::time::Instant::now();
+        let (result, coalesced) =
+            table.run_or_wait("slow", &cancel, || unreachable!("follower"));
+        assert!(coalesced);
+        assert_eq!(result.unwrap_err().kind, StageErrorKind::Cancelled);
+        assert!(t0.elapsed() < Duration::from_millis(350), "gave up promptly");
+        // The leader still completes and retires its entry cleanly.
+        let (result, _) = leader.join().unwrap();
+        assert_eq!(result.unwrap(), payload(5.0));
+        assert!(table.flights.lock().unwrap().is_empty());
+    }
+}

@@ -34,6 +34,7 @@
 
 pub mod bench;
 pub mod cas;
+pub mod flight;
 pub mod hash;
 pub mod report;
 pub mod sched;
@@ -44,10 +45,11 @@ pub use bench::{compare, BenchReport, CompareLine, Direction};
 pub use cas::{
     checkpoint_base, unit_key, ArtifactStore, CasEntry, CasListing, GcReport, StageCheckpoint,
 };
+pub use flight::FlightTable;
 pub use hash::content_hash;
 pub use sched::{
-    plan_scenario, run_scenario, stage_key, PlanEntry, RunOptions, RunSummary, StageResult,
-    StageStatus,
+    plan_scenario, run_scenario, stage_key, PlanEntry, RunOptions, RunSummary, StageError,
+    StageErrorKind, StageResult, StageStatus,
 };
 pub use spec::{Scenario, SpecError, StageSpec};
 pub use stage::effective_params;

@@ -78,7 +78,17 @@ fn render_manifest(out: &mut String, manifest: &Json) {
         if !errors.is_empty() {
             let _ = writeln!(out, "## Errors\n");
             for (id, msg) in errors {
-                let _ = writeln!(out, "- `{id}`: {}", msg.as_str().unwrap_or("?"));
+                // Schema 2 writes structured `{kind, message}` objects;
+                // older manifests carry bare strings.
+                let line = match (msg.get("kind"), msg.get("message")) {
+                    (Some(kind), Some(message)) => format!(
+                        "**{}** — {}",
+                        kind.as_str().unwrap_or("?"),
+                        message.as_str().unwrap_or("?")
+                    ),
+                    _ => msg.as_str().unwrap_or("?").to_string(),
+                };
+                let _ = writeln!(out, "- `{id}`: {line}");
             }
             let _ = writeln!(out);
         }

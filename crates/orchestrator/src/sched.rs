@@ -32,12 +32,14 @@
 //! why a fully-cached rerun reproduces the fingerprint bit-for-bit.
 
 use crate::cas::{ArtifactStore, StageCheckpoint};
+use crate::flight::FlightTable;
 use crate::hash::content_hash;
 use crate::spec::{scale_to_json, Scenario, SpecError};
 use crate::stage::{self, StageCtx, STAGE_SCHEMA};
 use bench_harness::RunScale;
-use obs::{CancelToken, Json, MetricsRegistry};
+use obs::{CancelToken, EventBus, Json, MetricsRegistry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -70,6 +72,15 @@ pub struct RunOptions {
     /// stages a short grace period to flush their checkpoints, marks the
     /// rest `Cancelled`, and returns a complete (but failed) summary.
     pub cancel: Option<CancelToken>,
+    /// In-flight request coalescing across concurrent scheduler
+    /// invocations (the `pv3t1d serve` daemon shares one table between
+    /// all jobs): stages landing on a key already being computed wait
+    /// for that leader instead of re-executing.
+    pub flight: Option<Arc<FlightTable>>,
+    /// Streaming progress events: when set, the scheduler publishes one
+    /// JSON event per run/stage lifecycle transition for clients tailing
+    /// `GET /jobs/<id>/events`.
+    pub events: Option<EventBus>,
 }
 
 impl Default for RunOptions {
@@ -81,8 +92,93 @@ impl Default for RunOptions {
             scale_override: None,
             verbose: false,
             cancel: None,
+            flight: None,
+            events: None,
         }
     }
+}
+
+/// What *class* of failure a [`StageStatus::Failed`] (or a manifest
+/// `errors` entry) carries — machine-readable so daemon clients can
+/// distinguish a stage panic from an orderly cancellation without
+/// parsing message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageErrorKind {
+    /// The stage function returned `Err`.
+    Error,
+    /// The stage panicked and was caught at the thread boundary.
+    Panic,
+    /// The stage exceeded its wall-clock budget.
+    Timeout,
+    /// An upstream stage failed, so this one never started.
+    Skipped,
+    /// The run was interrupted (signal, `DELETE /jobs/<id>`, daemon
+    /// drain) before the stage could finish.
+    Cancelled,
+}
+
+impl StageErrorKind {
+    /// The manifest word for this kind.
+    pub fn word(self) -> &'static str {
+        match self {
+            StageErrorKind::Error => "error",
+            StageErrorKind::Panic => "panic",
+            StageErrorKind::Timeout => "timeout",
+            StageErrorKind::Skipped => "skipped",
+            StageErrorKind::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A structured stage failure: what went wrong, and the preserved
+/// human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageError {
+    /// Failure class.
+    pub kind: StageErrorKind,
+    /// The stage's error or panic message.
+    pub message: String,
+}
+
+impl StageError {
+    /// An `Err`-returned stage failure.
+    pub fn error(message: impl Into<String>) -> Self {
+        Self {
+            kind: StageErrorKind::Error,
+            message: message.into(),
+        }
+    }
+
+    /// A caught stage panic.
+    pub fn panic(message: impl Into<String>) -> Self {
+        Self {
+            kind: StageErrorKind::Panic,
+            message: message.into(),
+        }
+    }
+
+    /// The manifest representation: `{"kind": …, "message": …}`.
+    pub fn to_json(&self) -> Json {
+        error_json(self.kind.word(), &self.message)
+    }
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            StageErrorKind::Error => write!(f, "{}", self.message),
+            kind => write!(f, "{}: {}", kind.word(), self.message),
+        }
+    }
+}
+
+/// A structured manifest `errors` entry for statuses that carry only a
+/// message (timeout / skipped / cancelled).
+fn error_json(kind: &str, message: &str) -> Json {
+    let mut o = Json::object();
+    o.insert("kind", Json::Str(kind.to_string()));
+    o.insert("message", Json::Str(message.to_string()));
+    o
 }
 
 /// How one stage ended.
@@ -92,8 +188,8 @@ pub enum StageStatus {
     Cached,
     /// Executed successfully this run.
     Ran,
-    /// Returned an error or panicked; the message is preserved.
-    Failed(String),
+    /// Returned an error or panicked; the structured cause is preserved.
+    Failed(StageError),
     /// Exceeded its wall-clock budget (seconds).
     TimedOut(f64),
     /// Never started because an upstream stage failed or timed out.
@@ -216,19 +312,23 @@ impl RunSummary {
 
     /// Serializes the run manifest: the fingerprinted `results` section
     /// plus non-deterministic `execution` details and per-stage
-    /// `errors`.
+    /// `errors`. Each error is a structured `{"kind", "message"}` object
+    /// ([`StageErrorKind::word`] values), so daemon clients and CI can
+    /// tell a panic from a timeout from an orderly cancellation.
     pub fn to_json(&self) -> Json {
         let mut errors = Json::object();
         let mut per_stage = Json::object();
         for s in &self.stages {
             match &s.status {
-                StageStatus::Failed(msg) => errors.insert(&s.id, Json::Str(msg.clone())),
+                StageStatus::Failed(e) => errors.insert(&s.id, e.to_json()),
                 StageStatus::TimedOut(limit) => errors.insert(
                     &s.id,
-                    Json::Str(format!("timed out after {limit} seconds")),
+                    error_json("timeout", &format!("timed out after {limit} seconds")),
                 ),
-                StageStatus::Skipped(why) => errors.insert(&s.id, Json::Str(why.clone())),
-                StageStatus::Cancelled(why) => errors.insert(&s.id, Json::Str(why.clone())),
+                StageStatus::Skipped(why) => errors.insert(&s.id, error_json("skipped", why)),
+                StageStatus::Cancelled(why) => {
+                    errors.insert(&s.id, error_json("cancelled", why));
+                }
                 _ => {}
             }
             let mut e = Json::object();
@@ -350,8 +450,9 @@ pub fn plan_scenario(sc: &Scenario, opts: &RunOptions) -> Result<Vec<PlanEntry>,
 
 /// Internal: what a worker thread reports back — stage index, launch
 /// generation (so reports from abandoned attempts are recognizably
-/// stale), result, attempt wall clock.
-type StageReport = (usize, u64, Result<Json, String>, f64);
+/// stale), result, attempt wall clock, and whether the result was
+/// coalesced from a concurrent leader's computation.
+type StageReport = (usize, u64, Result<Json, StageError>, f64, bool);
 
 /// Internal: one in-flight stage attempt.
 struct Running {
@@ -416,6 +517,22 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
     let mut metrics = MetricsRegistry::new();
     let (mut hits, mut misses, mut executed) = (0u64, 0u64, 0u64);
     let mut retries_total = 0u64;
+    let mut coalesced_total = 0u64;
+
+    // Streaming progress events (no-ops when no bus is attached).
+    let publish = |event: &mut Json, kind: &str| {
+        if let Some(bus) = &opts.events {
+            event.insert("event", Json::Str(kind.to_string()));
+            bus.publish(event.clone());
+        }
+    };
+    {
+        let mut ev = Json::object();
+        ev.insert("scenario", Json::Str(sc.name.clone()));
+        ev.insert("scale", scale_to_json(scale));
+        ev.insert("stages", Json::Num(n as f64));
+        publish(&mut ev, "run.started");
+    }
 
     let (tx, rx) = mpsc::channel::<StageReport>();
     // Ready queue seeded in topological order; later insertions happen
@@ -448,13 +565,33 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                     sc.stages[i].id,
                     match &st {
                         StageStatus::Ran => format!("{:.2}s", seconds[i]),
-                        StageStatus::Failed(m) => m.clone(),
+                        StageStatus::Failed(e) => e.to_string(),
                         StageStatus::TimedOut(l) => format!("budget {l}s"),
                         StageStatus::Skipped(w) => w.clone(),
                         StageStatus::Cancelled(w) => w.clone(),
                         StageStatus::Cached => String::new(),
                     }
                 );
+            }
+            if opts.events.is_some() {
+                let mut ev = Json::object();
+                ev.insert("id", Json::Str(sc.stages[i].id.clone()));
+                ev.insert("status", Json::Str(st.result_word().to_string()));
+                ev.insert("tag", Json::Str(st.tag().to_string()));
+                ev.insert("seconds", Json::Num(seconds[i]));
+                ev.insert("key", keys[i].clone().map_or(Json::Null, Json::Str));
+                if let Some(err) = match &st {
+                    StageStatus::Failed(e) => Some(e.to_json()),
+                    StageStatus::TimedOut(l) => {
+                        Some(error_json("timeout", &format!("timed out after {l} seconds")))
+                    }
+                    StageStatus::Skipped(w) => Some(error_json("skipped", w)),
+                    StageStatus::Cancelled(w) => Some(error_json("cancelled", w)),
+                    _ => None,
+                } {
+                    ev.insert("error", err);
+                }
+                publish(&mut ev, "stage.finished");
             }
             let produced = st.is_ok();
             status[i] = Some(st);
@@ -470,13 +607,21 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                         ready.push_back(j);
                     }
                 } else {
-                    status[j] = Some(StageStatus::Skipped(format!(
+                    let why = format!(
                         "dependency {:?} did not produce a payload",
                         sc.stages[i].id
-                    )));
+                    );
+                    status[j] = Some(StageStatus::Skipped(why.clone()));
                     finished += 1;
                     if opts.verbose {
                         println!("{:>8}  {:<24} after {}", "skip", sc.stages[j].id, sc.stages[i].id);
+                    }
+                    if opts.events.is_some() {
+                        let mut ev = Json::object();
+                        ev.insert("id", Json::Str(sc.stages[j].id.clone()));
+                        ev.insert("status", Json::Str("skipped".to_string()));
+                        ev.insert("error", error_json("skipped", &why));
+                        publish(&mut ev, "stage.finished");
                     }
                     cascade.extend(dependents[j].iter().copied());
                 }
@@ -606,28 +751,52 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                         deadline,
                     },
                 );
+                if opts.events.is_some() {
+                    let mut ev = Json::object();
+                    ev.insert("id", Json::Str(s.id.clone()));
+                    ev.insert("kind", Json::Str(s.kind.clone()));
+                    ev.insert("attempt", Json::Num(f64::from(attempts[i])));
+                    publish(&mut ev, "stage.launched");
+                }
                 let tx = tx.clone();
                 let kind = s.kind.clone();
                 let params = s.params.clone();
                 let stage_id = s.id.clone();
+                let flight = opts.flight.clone();
                 std::thread::spawn(move || {
                     let _stage_span =
                         obs::trace::span_with("orchestrator", || format!("stage:{stage_id}"));
                     let t0 = Instant::now();
-                    let result = catch_unwind(AssertUnwindSafe(|| {
-                        stage::execute(
-                            &kind,
-                            &StageCtx {
-                                params: &params,
-                                inputs: &inputs,
-                                scale,
-                                checkpoint,
-                                cancel,
-                            },
-                        )
-                    }))
-                    .unwrap_or_else(|panic| Err(panic_message(panic.as_ref())));
-                    let _ = tx.send((i, generation, result, t0.elapsed().as_secs_f64()));
+                    let compute = || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            stage::execute(
+                                &kind,
+                                &StageCtx {
+                                    params: &params,
+                                    inputs: &inputs,
+                                    scale,
+                                    checkpoint,
+                                    cancel: cancel.clone(),
+                                },
+                            )
+                        }))
+                        .map_err(|panic| StageError::panic(panic_message(panic.as_ref())))
+                        .and_then(|r| r.map_err(StageError::error))
+                    };
+                    // With a flight table attached, a concurrent leader
+                    // already computing this exact key is shared instead
+                    // of re-executed (the follower blocks, polling its
+                    // cancel token).
+                    let (result, coalesced) = match &flight {
+                        Some(table) => table.run_or_wait(&key, &cancel, compute),
+                        None => (compute(), false),
+                    };
+                    if coalesced {
+                        obs::trace::instant_with("orchestrator", || {
+                            format!("flight.coalesced:{stage_id}")
+                        });
+                    }
+                    let _ = tx.send((i, generation, result, t0.elapsed().as_secs_f64(), coalesced));
                 });
             }
         }
@@ -677,7 +846,7 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
             wait = wait.min(CANCEL_POLL);
         }
         match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
-            Ok((i, generation, result, secs)) => {
+            Ok((i, generation, result, secs, coalesced)) => {
                 if running.get(&i).map(|r| r.generation) != Some(generation) {
                     // Late report from an abandoned attempt: discard,
                     // never cache.
@@ -685,6 +854,9 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                 }
                 running.remove(&i);
                 seconds[i] += secs;
+                if coalesced {
+                    coalesced_total += 1;
+                }
                 match result {
                     Ok(payload) => {
                         executed += 1;
@@ -707,16 +879,17 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                     // Check the token too, not just the latch: the cancel
                     // may have landed after this iteration's latch check
                     // but before the stage's error report arrived.
-                    Err(msg)
-                        if cancelling
+                    Err(e)
+                        if e.kind == StageErrorKind::Cancelled
+                            || cancelling
                             || opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) =>
                     {
                         // A stage erroring while the run winds down is
                         // (almost always) the cancellation itself
                         // surfacing; either way, retrying is pointless.
-                        finish_stage!(i, StageStatus::Cancelled(msg));
+                        finish_stage!(i, StageStatus::Cancelled(e.message));
                     }
-                    Err(msg) if attempts[i] <= sc.stages[i].retries => {
+                    Err(e) if attempts[i] <= sc.stages[i].retries => {
                         retries_total += 1;
                         let backoff = sc.stages[i].backoff_ms;
                         pending_retry
@@ -726,12 +899,12 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                         });
                         if opts.verbose {
                             println!(
-                                "{:>8}  {:<24} attempt {} failed ({msg}); retry in {backoff:.0}ms",
+                                "{:>8}  {:<24} attempt {} failed ({e}); retry in {backoff:.0}ms",
                                 "retry", sc.stages[i].id, attempts[i]
                             );
                         }
                     }
-                    Err(msg) => finish_stage!(i, StageStatus::Failed(msg)),
+                    Err(e) => finish_stage!(i, StageStatus::Failed(e)),
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -796,6 +969,7 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
         terminal(|s| matches!(s, StageStatus::Cancelled(_))),
     );
     metrics.set_counter("orchestrator.stages.retried", retries_total);
+    metrics.set_counter("orchestrator.flight.coalesced", coalesced_total);
     let (mut ckpt_resumed, mut ckpt_stored) = (0u64, 0u64);
     for cp in checkpoints.values() {
         ckpt_resumed += cp.resumed();
@@ -818,7 +992,7 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
         })
         .collect();
 
-    Ok(RunSummary {
+    let summary = RunSummary {
         scenario: sc.name.clone(),
         scale,
         stages,
@@ -828,7 +1002,18 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
         wall_seconds: started.elapsed().as_secs_f64(),
         jobs,
         metrics,
-    })
+    };
+    {
+        let mut ev = Json::object();
+        ev.insert("ok", Json::Bool(summary.ok()));
+        ev.insert("fingerprint", Json::Str(summary.fingerprint()));
+        ev.insert("cache_hits", Json::Num(summary.cache_hits as f64));
+        ev.insert("executed", Json::Num(summary.executed as f64));
+        ev.insert("coalesced", Json::Num(coalesced_total as f64));
+        ev.insert("wall_seconds", Json::Num(summary.wall_seconds));
+        publish(&mut ev, "run.finished");
+    }
+    Ok(summary)
 }
 
 /// Best-effort extraction of a panic payload's message.

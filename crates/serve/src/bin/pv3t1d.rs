@@ -6,7 +6,8 @@
 //!                               [--manifest PATH] [--trace PATH]
 //! pv3t1d plan   <scenario.json> [--quick|--full] [--results DIR]
 //! pv3t1d ls     [--results DIR] [--traces]
-//! pv3t1d gc     <scenario.json>... [--quick|--full] [--results DIR] [--dry-run]
+//! pv3t1d gc     <scenario.json>... [--quick|--full] [--results DIR]
+//!                               [--dry-run] [--json]
 //! pv3t1d bench  [--quick|--full] [--label L] [--results DIR]
 //!               [--compare PATH] [--threshold PCT] [--jobs N]
 //! pv3t1d report <run.json> [--trace PATH] [--out PATH]
@@ -14,18 +15,25 @@
 //! pv3t1d trace  info <file>
 //! pv3t1d validate <trace-file> [--scheme NAME]... [--retention NAME]
 //!                              [--tolerance N] [--max-records N] [--out PATH]
+//! pv3t1d serve  --listen <addr|unix:PATH> [--results DIR] [--workers N]
+//!                              [--jobs N] [--gc-interval-secs S]
+//!                              [--gc-max-bytes B]
+//! pv3t1d loadtest [--addr HOST:PORT] [--clients N] [--requests N]
+//!                              [--label L] [--results DIR]
+//!                              [--compare PATH] [--threshold PCT]
 //! ```
 //!
 //! Exit codes: `0` success; `1` at least one stage failed / timed out /
 //! was skipped / was cancelled, `--expect-cached` was violated,
-//! `bench --compare` found a regression, or `validate` found divergence
+//! `bench --compare` or `loadtest --compare` found a regression,
+//! `loadtest` saw failed requests, or `validate` found divergence
 //! beyond the tolerance; `2` usage, spec, or I/O errors.
 //!
-//! `run` installs SIGINT/SIGTERM handlers that cancel the scheduler
-//! cooperatively: in-flight campaigns stop at the next unit boundary
-//! with their completed units checkpointed, the partial run manifest
-//! (and `--trace` capture) is still written, and rerunning the same
-//! command resumes from the checkpoints.
+//! `run` and `serve` install SIGINT/SIGTERM handlers that cancel the
+//! scheduler cooperatively: in-flight campaigns stop at the next unit
+//! boundary with their completed units checkpointed, partial run
+//! manifests are still written, and rerunning (or restarting the
+//! daemon and resubmitting) resumes from the checkpoints.
 
 use obs::Json;
 use orchestrator::{
@@ -54,6 +62,13 @@ USAGE:
     pv3t1d validate <trace-file> [OPTIONS]   replay a trace through the
                                              simulator and the golden model,
                                              report per-counter divergence
+    pv3t1d serve [OPTIONS]                   run the campaign daemon: accept
+                                             scenario submissions over HTTP,
+                                             coalesce concurrent work, stream
+                                             progress, GC the cache
+    pv3t1d loadtest [OPTIONS]                drive a daemon with concurrent
+                                             clients, write serve.* metrics
+                                             to BENCH_<label>.json
     pv3t1d help                              this text
 
 OPTIONS:
@@ -69,11 +84,16 @@ OPTIONS:
     --trace <PATH>       (run) capture a Chrome trace-event JSON timeline
                          (report) trace file to fold into the report
     --dry-run            (gc) report what would be removed, delete nothing
+    --json               (gc) print the machine-readable GcReport instead
+                         of the text summary
     --traces             (ls) list *.trace.json files instead of artifacts
     --label <L>          (bench) baseline label (default \"local\")
-    --compare <PATH>     (bench) diff against a baseline BENCH_*.json;
-                         exit 1 on regression beyond the threshold
-    --threshold <PCT>    (bench) regression noise threshold (default 30)
+                         (loadtest) report label (default \"serve\")
+    --compare <PATH>     (bench, loadtest) diff against a baseline
+                         BENCH_*.json; exit 1 on regression beyond the
+                         threshold
+    --threshold <PCT>    (bench, loadtest) regression noise threshold
+                         (default 30)
     --out <PATH>         (report) write markdown here instead of stdout
                          (validate) also write the JSON divergence report
     --seed <N>           (trace record) generator seed (default 42)
@@ -87,6 +107,20 @@ OPTIONS:
     --tolerance <N>      (validate) max tolerated absolute per-counter
                          divergence (default 0)
     --max-records <N>    (validate) replay at most N records (default all)
+    --listen <ADDR>      (serve) host:port, port 0 picks a free one, or
+                         unix:<path> for a Unix domain socket
+                         (default 127.0.0.1:0)
+    --workers <N>        (serve) concurrent jobs (default 2)
+                         (serve/loadtest) --jobs is per-run stage concurrency
+    --gc-interval-secs <S>
+                         (serve) CAS janitor cadence; 0 disables
+                         (default 30)
+    --gc-max-bytes <B>   (serve) CAS size budget the janitor trims to
+                         (default 268435456)
+    --addr <HOST:PORT>   (loadtest) daemon to drive; omitted = self-host
+                         an in-process daemon on 127.0.0.1:0
+    --clients <N>        (loadtest) concurrent client threads (default 32)
+    --requests <N>       (loadtest) requests per client (default 4)
 ";
 
 struct Cli {
@@ -109,6 +143,14 @@ struct Cli {
     retention: String,
     tolerance: u64,
     max_records: u64,
+    json: bool,
+    listen: String,
+    workers: usize,
+    gc_interval_secs: u64,
+    gc_max_bytes: u64,
+    addr: Option<String>,
+    clients: usize,
+    requests: usize,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -135,6 +177,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         retention: "mixed".to_string(),
         tolerance: 0,
         max_records: 0,
+        json: false,
+        listen: "127.0.0.1:0".to_string(),
+        workers: 2,
+        gc_interval_secs: 30,
+        gc_max_bytes: 256 * 1024 * 1024,
+        addr: None,
+        clients: 32,
+        requests: 4,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -198,6 +248,37 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 cli.max_records = value_of("--max-records")?
                     .parse::<u64>()
                     .map_err(|e| format!("--max-records: {e}"))?;
+            }
+            "--json" => cli.json = true,
+            "--listen" => cli.listen = value_of("--listen")?,
+            "--workers" => {
+                cli.workers = value_of("--workers")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--workers: {e}"))?
+                    .max(1);
+            }
+            "--gc-interval-secs" => {
+                cli.gc_interval_secs = value_of("--gc-interval-secs")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--gc-interval-secs: {e}"))?;
+            }
+            "--gc-max-bytes" => {
+                cli.gc_max_bytes = value_of("--gc-max-bytes")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("--gc-max-bytes: {e}"))?;
+            }
+            "--addr" => cli.addr = Some(value_of("--addr")?),
+            "--clients" => {
+                cli.clients = value_of("--clients")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--clients: {e}"))?
+                    .max(1);
+            }
+            "--requests" => {
+                cli.requests = value_of("--requests")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--requests: {e}"))?
+                    .max(1);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => cli.positional.push(PathBuf::from(path)),
@@ -319,7 +400,7 @@ fn cmd_run(cli: &Cli) -> Result<ExitCode, String> {
         let mut cancelled = false;
         for s in &summary.stages {
             if let Some(err) = match &s.status {
-                orchestrator::StageStatus::Failed(m) => Some(m.clone()),
+                orchestrator::StageStatus::Failed(e) => Some(e.to_string()),
                 orchestrator::StageStatus::TimedOut(l) => {
                     Some(format!("timed out after {l} seconds"))
                 }
@@ -467,14 +548,28 @@ fn cmd_bench(cli: &Cli) -> Result<ExitCode, String> {
     let Some(base_path) = &cli.compare else {
         return Ok(ExitCode::SUCCESS);
     };
+    if print_compare(base_path, &report, cli.threshold)? {
+        eprintln!("error: benchmark regression beyond {}%", cli.threshold);
+        return Ok(ExitCode::from(1));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Prints a `--compare` table against the baseline at `base_path` and
+/// returns whether any gated metric regressed beyond the threshold.
+fn print_compare(
+    base_path: &Path,
+    report: &bench::BenchReport,
+    threshold: f64,
+) -> Result<bool, String> {
     let base = bench::BenchReport::read_from(base_path)
         .map_err(|e| format!("reading {}: {e}", base_path.display()))?;
-    let (lines, regressed) = bench::compare(&base, &report, cli.threshold);
+    let (lines, regressed) = bench::compare(&base, report, threshold);
     println!(
         "compare vs {} (label {}, threshold {}%):",
         base_path.display(),
         base.label,
-        cli.threshold
+        threshold
     );
     for l in &lines {
         let delta = match (l.delta_pct, l.base) {
@@ -487,11 +582,7 @@ fn cmd_bench(cli: &Cli) -> Result<ExitCode, String> {
         let verdict = if l.regressed { "REGRESSED" } else { "ok" };
         println!("  {:<36} {:>14.4} {delta}  {verdict}", l.name, l.current);
     }
-    if regressed {
-        eprintln!("error: benchmark regression beyond {}%", cli.threshold);
-        return Ok(ExitCode::from(1));
-    }
-    Ok(ExitCode::SUCCESS)
+    Ok(regressed)
 }
 
 fn cmd_report(cli: &Cli) -> Result<ExitCode, String> {
@@ -677,15 +768,122 @@ fn cmd_gc(cli: &Cli) -> Result<ExitCode, String> {
     let report = store
         .gc_keep_with_cutoff(&keep, cli.dry_run, Some(cutoff))
         .map_err(|e| format!("gc: {e}"))?;
-    println!(
-        "gc{}: kept {}, removed {}, spared {} newer than the scan, freed {} bytes",
-        if cli.dry_run { " (dry run)" } else { "" },
-        report.kept,
-        report.removed,
-        report.skipped_fresh,
-        report.bytes_freed
-    );
+    if cli.json {
+        let mut doc = report.to_json();
+        doc.insert("dry_run", Json::Bool(cli.dry_run));
+        println!("{}", doc.render_pretty());
+    } else {
+        println!(
+            "gc{}: kept {}, removed {}, spared {} newer than the scan, freed {} bytes",
+            if cli.dry_run { " (dry run)" } else { "" },
+            report.kept,
+            report.removed,
+            report.skipped_fresh,
+            report.bytes_freed
+        );
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(cli: &Cli) -> Result<ExitCode, String> {
+    if !cli.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let config = serve::ServerConfig {
+        listen: serve::Listen::parse(&cli.listen),
+        results_dir: cli.opts.results_dir.clone(),
+        workers: cli.workers,
+        stage_jobs: cli.opts.jobs,
+        gc_interval: match cli.gc_interval_secs {
+            0 => None,
+            s => Some(std::time::Duration::from_secs(s)),
+        },
+        gc_max_bytes: cli.gc_max_bytes,
+        // SIGINT/SIGTERM land on the daemon's shutdown token: stop
+        // accepting, cancel every job (schedulers drain at the next
+        // unit boundary, partial manifests are written), then exit.
+        shutdown: interrupt::install(),
+        verbose: true,
+    };
+    let server = serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
+    server.wait();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_loadtest(cli: &Cli) -> Result<ExitCode, String> {
+    if !cli.positional.is_empty() {
+        return Err("loadtest takes no positional arguments".into());
+    }
+    // Without --addr, self-host a daemon on a loopback port for the
+    // duration of the test (this is what CI's baseline refresh uses).
+    let hosted = match &cli.addr {
+        Some(_) => None,
+        None => {
+            let config = serve::ServerConfig {
+                listen: serve::Listen::Tcp("127.0.0.1:0".to_string()),
+                results_dir: cli.opts.results_dir.clone(),
+                workers: cli.workers.max(4),
+                stage_jobs: cli.opts.jobs,
+                ..serve::ServerConfig::default()
+            };
+            Some(serve::Server::start(config).map_err(|e| format!("loadtest: {e}"))?)
+        }
+    };
+    let addr = match (&cli.addr, &hosted) {
+        (Some(addr), _) => addr.clone(),
+        (None, Some(server)) => server.addr().to_string(),
+        (None, None) => unreachable!("hosted covers the no-addr case"),
+    };
+
+    let config = serve::LoadtestConfig {
+        addr,
+        clients: cli.clients,
+        requests: cli.requests,
+        label: cli.label.clone(),
+        quick: cli.quick,
+        ..serve::LoadtestConfig::default()
+    };
+    let outcome = serve::loadtest::run(&config);
+    if let Some(server) = hosted {
+        server.shutdown();
+    }
+    let outcome = outcome.map_err(|e| format!("loadtest: {e}"))?;
+
+    let path = cli
+        .opts
+        .results_dir
+        .join(format!("BENCH_{}.json", outcome.report.label));
+    outcome
+        .report
+        .write_to(&path)
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "loadtest {}: {} requests ({} clients), {} failed, {} coalesced, \
+         {:.1} req/s, p50 {:.1} ms, p99 {:.1} ms ({:.1}s) -> {}",
+        config.label,
+        outcome.total_requests,
+        cli.clients,
+        outcome.failed,
+        outcome.coalesced,
+        outcome.report.metrics["serve.requests_per_s"],
+        outcome.report.metrics["serve.p50_ms"],
+        outcome.report.metrics["serve.p99_ms"],
+        outcome.wall_seconds,
+        path.display()
+    );
+
+    let mut failing = false;
+    if outcome.failed > 0 {
+        eprintln!("error: {} request(s) failed", outcome.failed);
+        failing = true;
+    }
+    if let Some(base_path) = &cli.compare {
+        if print_compare(base_path, &outcome.report, cli.threshold)? {
+            eprintln!("error: serving regression beyond {}%", cli.threshold);
+            failing = true;
+        }
+    }
+    Ok(if failing { ExitCode::from(1) } else { ExitCode::SUCCESS })
 }
 
 fn main() -> ExitCode {
@@ -710,6 +908,8 @@ fn main() -> ExitCode {
         "report" => cmd_report(&cli),
         "trace" => cmd_trace(&cli),
         "validate" => cmd_validate(&cli),
+        "serve" => cmd_serve(&cli),
+        "loadtest" => cmd_loadtest(&cli),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

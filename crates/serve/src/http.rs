@@ -1,0 +1,229 @@
+//! A deliberately small HTTP/1.1 implementation — just enough protocol
+//! for the daemon's JSON API and the loadtest client, with no external
+//! dependencies.
+//!
+//! Scope: request line + headers + `Content-Length` bodies. No chunked
+//! transfer encoding, no keep-alive pipelining (every response carries
+//! `Connection: close` and the server closes the socket), no TLS.
+//! Streaming endpoints (`GET /jobs/<id>/events`) write a head without
+//! `Content-Length` and delimit the newline-delimited JSON body by
+//! closing the connection — the one HTTP/1.0-style framing that needs
+//! no encoder on either side.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request head (request line + headers) in bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body in bytes (scenario specs are small).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, path, and raw body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method token (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// The request target, e.g. `/jobs/7/events` (query strings are
+    /// kept verbatim; the daemon's routes don't use them).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// A malformed or oversized request, reported to the client as a 400.
+#[derive(Debug)]
+pub struct BadRequest(pub String);
+
+impl std::fmt::Display for BadRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> BadRequest {
+    BadRequest(msg.into())
+}
+
+/// Reads one request from `stream`. `Ok(None)` means the peer closed
+/// the connection before sending a request line (a clean EOF, not an
+/// error — load balancers and health probes do this).
+pub fn read_request<R: BufRead>(stream: &mut R) -> io::Result<Result<Option<Request>, BadRequest>> {
+    let mut line = String::new();
+    if stream.read_line(&mut line)? == 0 {
+        return Ok(Ok(None));
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Err(bad(format!("malformed request line {line:?}"))));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Err(bad(format!("unsupported protocol {version:?}"))));
+    }
+    let (method, path) = (method.to_string(), path.to_string());
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        if stream.read_line(&mut header)? == 0 {
+            return Ok(Err(bad("connection closed mid-headers")));
+        }
+        head_bytes += header.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Ok(Err(bad("request head too large")));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Ok(Err(bad(format!("malformed header {header:?}"))));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = match value.trim().parse::<usize>() {
+                Ok(n) if n <= MAX_BODY_BYTES => n,
+                Ok(_) => return Ok(Err(bad("request body too large"))),
+                Err(_) => return Ok(Err(bad("malformed Content-Length"))),
+            };
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Ok(Some(Request { method, path, body })))
+}
+
+/// The standard reason phrase for the handful of status codes the
+/// daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response (`Content-Length` framing) and
+/// flushes. The connection is expected to close afterwards.
+pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Writes a streaming-response head: NDJSON content, no
+/// `Content-Length` — the body ends when the server closes the socket.
+pub fn write_stream_head<W: Write>(stream: &mut W) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// A parsed response, as consumed by the loadtest client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body. For close-delimited streams this is everything read
+    /// until EOF.
+    pub body: Vec<u8>,
+}
+
+/// Reads one response (status line, headers, then either a
+/// `Content-Length` body or everything until EOF).
+pub fn read_response<R: BufRead>(stream: &mut R) -> io::Result<Response> {
+    let mut line = String::new();
+    if stream.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "no status line"));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad status line {line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        if stream.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "EOF mid-headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            stream.read_exact(&mut body)?;
+        }
+        None => {
+            stream.read_to_end(&mut body)?;
+        }
+    }
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips_with_body() {
+        let wire = "POST /runs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        let req = read_request(&mut BufReader::new(wire.as_bytes()))
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/runs");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_garbage_is_bad_request() {
+        assert!(read_request(&mut BufReader::new(&b""[..])).unwrap().unwrap().is_none());
+        assert!(read_request(&mut BufReader::new(&b"nonsense\r\n\r\n"[..]))
+            .unwrap()
+            .is_err());
+        let oversized = format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(read_request(&mut BufReader::new(oversized.as_bytes()))
+            .unwrap()
+            .is_err());
+    }
+
+    #[test]
+    fn response_round_trips_both_framings() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 202, "{\"job\":1}").unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 202);
+        assert_eq!(resp.body, b"{\"job\":1}");
+
+        // Close-delimited stream: the body is everything after the head.
+        let mut wire = Vec::new();
+        write_stream_head(&mut wire).unwrap();
+        wire.extend_from_slice(b"{\"event\":\"x\"}\n{\"event\":\"y\"}\n");
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"{\"event\":\"x\"}\n{\"event\":\"y\"}\n");
+    }
+}

@@ -1,0 +1,318 @@
+//! The daemon's job table: submitted scenario runs, their lifecycle
+//! (`queued → running → done/failed/cancelled`), per-job cancel tokens,
+//! and per-job [`EventBus`]es the streaming endpoint tails.
+//!
+//! The table is the single source of truth shared by the HTTP
+//! connection threads (submit/query/cancel) and the worker pool
+//! (claim/finish); everything lives behind one mutex, with a condvar
+//! waking idle workers.
+
+use obs::{CancelToken, EventBus, Json};
+use orchestrator::Scenario;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing the scenario.
+    Running,
+    /// The run finished with every stage ok.
+    Done,
+    /// The run finished with at least one failed/timed-out/skipped
+    /// stage, or the scheduler itself errored.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire word for the state.
+    pub fn word(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can no longer change state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Cancelled)
+    }
+}
+
+/// One submitted run.
+#[derive(Debug)]
+struct Job {
+    scenario: Scenario,
+    state: JobState,
+    cancel: CancelToken,
+    events: EventBus,
+    /// The run manifest, once the run finished (also on failure — it
+    /// carries the structured per-stage `errors` section).
+    manifest: Option<Json>,
+    /// A scheduler-level error message (spec/cycle errors), distinct
+    /// from per-stage failures inside the manifest.
+    error: Option<String>,
+}
+
+/// The work a claimed job hands to a worker.
+#[derive(Debug)]
+pub struct Claim {
+    /// Job id.
+    pub id: u64,
+    /// The scenario to run.
+    pub scenario: Scenario,
+    /// The job's cancel token (wired into the scheduler).
+    pub cancel: CancelToken,
+    /// The job's progress bus (wired into the scheduler; the worker
+    /// closes it when the job reaches a terminal state).
+    pub events: EventBus,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    jobs: HashMap<u64, Job>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+}
+
+/// The shared job table. All methods take `&self`.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl JobTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accepts a scenario and queues it. Returns the new job id.
+    pub fn submit(&self, scenario: Scenario) -> u64 {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        inner.next_id += 1;
+        let id = inner.next_id;
+        inner.jobs.insert(
+            id,
+            Job {
+                scenario,
+                state: JobState::Queued,
+                cancel: CancelToken::new(),
+                events: EventBus::new(),
+                manifest: None,
+                error: None,
+            },
+        );
+        inner.queue.push_back(id);
+        self.cv.notify_one();
+        id
+    }
+
+    /// Blocks until a queued job is available and claims it (marking it
+    /// running), or returns `None` once `shutdown` fires. Jobs that were
+    /// cancelled while queued are consumed here — marked terminal, their
+    /// bus closed — without ever reaching a worker.
+    pub fn claim(&self, shutdown: &CancelToken) -> Option<Claim> {
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        loop {
+            while let Some(id) = inner.queue.pop_front() {
+                let job = inner.jobs.get_mut(&id).expect("queued job exists");
+                if job.cancel.is_cancelled() {
+                    job.state = JobState::Cancelled;
+                    job.events.close();
+                    continue;
+                }
+                job.state = JobState::Running;
+                return Some(Claim {
+                    id,
+                    scenario: job.scenario.clone(),
+                    cancel: job.cancel.clone(),
+                    events: job.events.clone(),
+                });
+            }
+            if shutdown.is_cancelled() {
+                return None;
+            }
+            inner = self
+                .cv
+                .wait_timeout(inner, Duration::from_millis(100))
+                .expect("job table poisoned")
+                .0;
+        }
+    }
+
+    /// Records a finished run: the manifest and the terminal state. The
+    /// job's event bus is closed so streaming clients see EOF.
+    pub fn finish(&self, id: u64, state: JobState, manifest: Option<Json>, error: Option<String>) {
+        debug_assert!(state.is_terminal());
+        let mut inner = self.inner.lock().expect("job table poisoned");
+        if let Some(job) = inner.jobs.get_mut(&id) {
+            job.state = state;
+            job.manifest = manifest;
+            job.error = error;
+            job.events.close();
+        }
+    }
+
+    /// Cancels a job: fires its token (the scheduler drains
+    /// cooperatively); queued jobs are retired the next time a worker
+    /// sees them. Returns `false` for unknown ids, and the job's state
+    /// at cancel time otherwise.
+    pub fn cancel(&self, id: u64) -> Option<JobState> {
+        let inner = self.inner.lock().expect("job table poisoned");
+        inner.jobs.get(&id).map(|job| {
+            job.cancel.cancel();
+            job.state
+        })
+    }
+
+    /// Fires every job's cancel token (daemon shutdown) and wakes all
+    /// workers so they observe the shutdown token.
+    pub fn cancel_all(&self) {
+        let inner = self.inner.lock().expect("job table poisoned");
+        for job in inner.jobs.values() {
+            job.cancel.cancel();
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// The job's event bus, for the streaming endpoint.
+    pub fn events(&self, id: u64) -> Option<EventBus> {
+        let inner = self.inner.lock().expect("job table poisoned");
+        inner.jobs.get(&id).map(|j| j.events.clone())
+    }
+
+    /// The job's status document: id, scenario, state, and — once
+    /// terminal — the run manifest (with its structured `errors`
+    /// section) or the scheduler error.
+    pub fn status_json(&self, id: u64) -> Option<Json> {
+        let inner = self.inner.lock().expect("job table poisoned");
+        inner.jobs.get(&id).map(|job| {
+            let mut o = Json::object();
+            o.insert("job", Json::Num(id as f64));
+            o.insert("scenario", Json::Str(job.scenario.name.clone()));
+            o.insert("state", Json::Str(job.state.word().to_string()));
+            o.insert("events", Json::Num(job.events.len() as f64));
+            if let Some(manifest) = &job.manifest {
+                o.insert("manifest", manifest.clone());
+            }
+            if let Some(error) = &job.error {
+                o.insert("error", Json::Str(error.clone()));
+            }
+            o
+        })
+    }
+
+    /// A compact listing of every job (id, scenario, state), ordered by
+    /// id.
+    pub fn list_json(&self) -> Json {
+        let inner = self.inner.lock().expect("job table poisoned");
+        let mut ids: Vec<&u64> = inner.jobs.keys().collect();
+        ids.sort();
+        let rows = ids
+            .into_iter()
+            .map(|id| {
+                let job = &inner.jobs[id];
+                let mut o = Json::object();
+                o.insert("job", Json::Num(*id as f64));
+                o.insert("scenario", Json::Str(job.scenario.name.clone()));
+                o.insert("state", Json::Str(job.state.word().to_string()));
+                o
+            })
+            .collect();
+        let mut doc = Json::object();
+        doc.insert("jobs", Json::Arr(rows));
+        doc
+    }
+
+    /// `(queued, running, terminal)` counts for `/healthz`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock().expect("job table poisoned");
+        let mut c = (0, 0, 0);
+        for job in inner.jobs.values() {
+            match job.state {
+                JobState::Queued => c.0 += 1,
+                JobState::Running => c.1 += 1,
+                _ => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Ids of jobs not yet terminal (used by the drain loop).
+    pub fn active_ids(&self) -> Vec<u64> {
+        let inner = self.inner.lock().expect("job table poisoned");
+        let mut ids: Vec<u64> = inner
+            .jobs
+            .iter()
+            .filter(|(_, j)| !j.state.is_terminal())
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bench_harness::RunScale;
+
+    fn scenario(name: &str) -> Scenario {
+        Scenario::new(name, RunScale::QUICK)
+    }
+
+    #[test]
+    fn submit_claim_finish_round_trip() {
+        let table = JobTable::new();
+        let id = table.submit(scenario("a"));
+        assert_eq!(table.counts(), (1, 0, 0));
+        let shutdown = CancelToken::new();
+        let claim = table.claim(&shutdown).unwrap();
+        assert_eq!(claim.id, id);
+        assert_eq!(table.counts(), (0, 1, 0));
+        table.finish(id, JobState::Done, Some(Json::object()), None);
+        assert_eq!(table.counts(), (0, 0, 1));
+        let status = table.status_json(id).unwrap();
+        assert_eq!(status.get("state").unwrap().as_str(), Some("done"));
+        assert!(status.get("manifest").is_some());
+        assert!(claim.events.is_closed(), "finish closes the bus");
+    }
+
+    #[test]
+    fn cancelled_queued_jobs_never_reach_a_worker() {
+        let table = JobTable::new();
+        let id = table.submit(scenario("doomed"));
+        assert_eq!(table.cancel(id), Some(JobState::Queued));
+        let shutdown = CancelToken::new();
+        shutdown.cancel();
+        // The claim loop consumes the cancelled job, then sees shutdown.
+        assert!(table.claim(&shutdown).is_none());
+        let status = table.status_json(id).unwrap();
+        assert_eq!(status.get("state").unwrap().as_str(), Some("cancelled"));
+        assert_eq!(table.cancel(9999), None);
+    }
+
+    #[test]
+    fn claim_returns_none_promptly_on_shutdown() {
+        let table = std::sync::Arc::new(JobTable::new());
+        let shutdown = CancelToken::new();
+        let t2 = table.clone();
+        let s2 = shutdown.clone();
+        let waiter = std::thread::spawn(move || t2.claim(&s2));
+        std::thread::sleep(Duration::from_millis(50));
+        shutdown.cancel();
+        table.cancel_all();
+        assert!(waiter.join().unwrap().is_none());
+    }
+}

@@ -1,0 +1,271 @@
+//! The `pv3t1d loadtest` driver: hammers a running daemon with many
+//! concurrent clients, measures end-to-end request latency (submit →
+//! terminal event), and writes the `serve.*` metrics into a
+//! [`BenchReport`] so the daemon's throughput and tail latency are
+//! regression-gated like every other benchmark (`pv3t1d bench
+//! --compare` conventions: `_per_s` higher-is-better, `_ms`
+//! lower-is-better).
+//!
+//! Request shape: every client in round `r` submits the *same*
+//! scenario (a tiny sleep DAG whose params encode the round), then
+//! tails `GET /jobs/<id>/events` until the stream closes. Because the
+//! scenarios are identical within a round, concurrent jobs reach the
+//! same content-addressed stage keys — the first executes, the rest
+//! coalesce or hit the CAS — so the run exercises exactly the daemon's
+//! sharing machinery, and `serve.coalesced_total` records how much of
+//! the fleet's work was deduplicated.
+
+use crate::http;
+use obs::Json;
+use orchestrator::bench::BenchReport;
+use std::io::{self, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Loadtest parameters, CLI-shaped.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Daemon TCP address (`host:port`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client (each request = submit + tail to terminal).
+    pub requests: usize,
+    /// The sleep-stage duration inside each submitted scenario; long
+    /// enough that same-round jobs overlap in flight.
+    pub work_seconds: f64,
+    /// Baseline label for the report (`BENCH_<label>.json`).
+    pub label: String,
+    /// Recorded in the report for apples-to-apples comparisons.
+    pub quick: bool,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        Self {
+            addr: String::new(),
+            clients: 32,
+            requests: 4,
+            work_seconds: 0.05,
+            label: "serve".to_string(),
+            quick: true,
+        }
+    }
+}
+
+/// What a loadtest measured.
+#[derive(Debug)]
+pub struct LoadtestOutcome {
+    /// The `serve.*` metrics, ready for `BENCH_<label>.json`.
+    pub report: BenchReport,
+    /// Requests attempted.
+    pub total_requests: u64,
+    /// Requests that errored (non-2xx, I/O failure, or a job that did
+    /// not finish `done`).
+    pub failed: u64,
+    /// Daemon-side coalesced-stage delta over the loadtest window.
+    pub coalesced: u64,
+    /// Daemon-side executed-stage delta over the loadtest window.
+    pub executed: u64,
+    /// Loadtest wall clock.
+    pub wall_seconds: f64,
+}
+
+/// One round-trip HTTP exchange over a fresh connection (the daemon is
+/// `Connection: close` only).
+pub fn exchange(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<http::Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: pv3t1d\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()?;
+    http::read_response(&mut BufReader::new(stream))
+}
+
+/// The scenario document every client submits for round `round`: a
+/// two-stage sleep DAG whose params (and therefore stage keys) are
+/// shared by all clients in the round and distinct across rounds.
+pub fn round_scenario(round: usize, work_seconds: f64) -> String {
+    // The round index perturbs `seconds` below float-visible noise for
+    // the sleep itself but enough to give each round fresh stage keys.
+    let seconds = work_seconds + round as f64 * 1e-6;
+    format!(
+        concat!(
+            "{{\"schema\": 2, \"name\": \"lt_r{round}\", \"scale\": \"quick\", \"stages\": [",
+            "{{\"id\": \"work\", \"kind\": \"sleep\", \"params\": {{\"seconds\": {seconds}}}}},",
+            "{{\"id\": \"tail\", \"kind\": \"sleep\", \"params\": {{\"seconds\": 0.001}}, \"deps\": [\"work\"]}}",
+            "]}}"
+        ),
+        round = round,
+        seconds = seconds,
+    )
+}
+
+fn flight_totals(addr: &str) -> io::Result<(u64, u64)> {
+    let resp = exchange(addr, "GET", "/healthz", None)?;
+    let doc = Json::parse(std::str::from_utf8(&resp.body).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("healthz not UTF-8: {e}"))
+    })?)
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("healthz: {e}")))?;
+    let flight = doc
+        .get("flight")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "healthz missing flight"))?;
+    let n = |key: &str| flight.get(key).and_then(Json::as_u64).unwrap_or(0);
+    Ok((n("executed_total"), n("coalesced_total")))
+}
+
+/// One client request: submit the round's scenario, tail its event
+/// stream to the end, confirm the job finished `done`. Returns the
+/// end-to-end latency.
+fn one_request(addr: &str, round: usize, work_seconds: f64) -> io::Result<Duration> {
+    let t0 = Instant::now();
+    let body = round_scenario(round, work_seconds);
+    let resp = exchange(addr, "POST", "/runs", Some(&body))?;
+    if resp.status != 202 {
+        return Err(io::Error::other(format!("submit: HTTP {}", resp.status)));
+    }
+    let doc = Json::parse(std::str::from_utf8(&resp.body).unwrap_or(""))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("submit body: {e}")))?;
+    let id = doc
+        .get("job")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "submit body missing job id"))?;
+
+    // Tail the close-delimited event stream; EOF = job terminal.
+    let events = exchange(addr, "GET", &format!("/jobs/{id}/events"), None)?;
+    if events.status != 200 {
+        return Err(io::Error::other(format!("events: HTTP {}", events.status)));
+    }
+
+    let status = exchange(addr, "GET", &format!("/jobs/{id}"), None)?;
+    let doc = Json::parse(std::str::from_utf8(&status.body).unwrap_or(""))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("status body: {e}")))?;
+    match doc.get("state").and_then(Json::as_str) {
+        Some("done") => Ok(t0.elapsed()),
+        other => Err(io::Error::other(format!("job {id} ended {other:?}"))),
+    }
+}
+
+fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the loadtest against a daemon at `config.addr` and aggregates
+/// the `serve.*` metrics. Individual request failures are counted, not
+/// fatal; only an unreachable daemon errors out.
+pub fn run(config: &LoadtestConfig) -> io::Result<LoadtestOutcome> {
+    let (executed_before, coalesced_before) = flight_totals(&config.addr)?;
+    let failed = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for _ in 0..config.clients.max(1) {
+        let addr = config.addr.clone();
+        let failed = failed.clone();
+        let requests = config.requests.max(1);
+        let work_seconds = config.work_seconds;
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(requests);
+            for round in 0..requests {
+                match one_request(&addr, round, work_seconds) {
+                    Ok(latency) => latencies.push(latency.as_secs_f64() * 1e3),
+                    Err(_) => {
+                        failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("loadtest client panicked"));
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let (executed_after, coalesced_after) = flight_totals(&config.addr)?;
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let total = (config.clients.max(1) * config.requests.max(1)) as u64;
+    let failed = failed.load(Ordering::Relaxed);
+    let coalesced = coalesced_after.saturating_sub(coalesced_before);
+    let executed = executed_after.saturating_sub(executed_before);
+
+    let mut report = BenchReport::new(&config.label, config.quick);
+    let ok = (total - failed) as f64;
+    report.metrics.insert(
+        "serve.requests_per_s".into(),
+        if wall_seconds > 0.0 { ok / wall_seconds } else { 0.0 },
+    );
+    report
+        .metrics
+        .insert("serve.p50_ms".into(), percentile_ms(&latencies, 0.50));
+    report
+        .metrics
+        .insert("serve.p99_ms".into(), percentile_ms(&latencies, 0.99));
+    report
+        .metrics
+        .insert("serve.coalesced_total".into(), coalesced as f64);
+    report
+        .metrics
+        .insert("serve.executed_total".into(), executed as f64);
+    report
+        .metrics
+        .insert("serve.failed_requests".into(), failed as f64);
+    report
+        .metrics
+        .insert("serve.clients".into(), config.clients as f64);
+
+    Ok(LoadtestOutcome {
+        report,
+        total_requests: total,
+        failed,
+        coalesced,
+        executed,
+        wall_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_scenarios_are_valid_and_round_distinct() {
+        let a = orchestrator::Scenario::parse(&round_scenario(0, 0.05)).unwrap();
+        a.validate().unwrap();
+        let b = orchestrator::Scenario::parse(&round_scenario(1, 0.05)).unwrap();
+        b.validate().unwrap();
+        assert_ne!(
+            a.stages[0].params.render(),
+            b.stages[0].params.render(),
+            "rounds must produce distinct stage keys"
+        );
+    }
+
+    #[test]
+    fn percentiles_pick_sane_ranks() {
+        // Nearest-rank on (n-1)·q: for 1..=100 the 0.5 rank 49.5 rounds
+        // up to index 50.
+        let sorted: Vec<f64> = (1..=100).map(|n| n as f64).collect();
+        assert_eq!(percentile_ms(&sorted, 0.50), 51.0);
+        assert_eq!(percentile_ms(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_ms(&[], 0.5), 0.0);
+        assert_eq!(percentile_ms(&[7.0], 0.99), 7.0);
+        let odd: Vec<f64> = (1..=101).map(|n| n as f64).collect();
+        assert_eq!(percentile_ms(&odd, 0.50), 51.0, "odd-length median is exact");
+    }
+}

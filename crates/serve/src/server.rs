@@ -1,0 +1,539 @@
+//! The campaign daemon: an accept loop (TCP or Unix socket), a bounded
+//! worker pool feeding the [`orchestrator`] scheduler, and the JSON API
+//! the `pv3t1d serve` command exposes.
+//!
+//! ## Endpoints
+//!
+//! | method & path           | behavior                                          |
+//! |-------------------------|---------------------------------------------------|
+//! | `GET /healthz`          | liveness + job counts + coalescing totals + last gc |
+//! | `POST /runs`            | submit a scenario document → `202 {"job": id}`    |
+//! | `GET /jobs`             | list all jobs                                     |
+//! | `GET /jobs/<id>`        | job state (+ run manifest once terminal)          |
+//! | `DELETE /jobs/<id>`     | cancel (cooperative; the scheduler drains)        |
+//! | `GET /jobs/<id>/events` | stream progress events as newline-delimited JSON  |
+//!
+//! ## Shared execution state
+//!
+//! Every job runs through the same [`FlightTable`] and the same
+//! results directory, so concurrent jobs that reach the same
+//! content-addressed stage key share one computation (request
+//! coalescing) and later jobs hit the CAS outright. Per-job run
+//! manifests land under `<results>/jobs/<id>.run.json` — including
+//! partial manifests for jobs cancelled by `DELETE` or daemon
+//! shutdown, which is what makes kill-and-restart resume from
+//! checkpoints with zero re-execution.
+
+use crate::http;
+use crate::janitor::{self, JanitorConfig, JanitorState};
+use crate::jobs::{JobState, JobTable};
+use obs::{CancelToken, Json};
+use orchestrator::{run_scenario, FlightTable, RunOptions, Scenario, StageStatus};
+use std::io::{self, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrent connection cap; excess connections get a 503 and are
+/// closed immediately rather than queueing behind slow handlers.
+const MAX_CONNECTIONS: usize = 1024;
+/// How often blocking loops re-check the shutdown token.
+const POLL: Duration = Duration::from_millis(25);
+/// Per-connection read timeout: a silent client cannot pin a handler
+/// thread forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address, e.g. `127.0.0.1:7878` (port 0 picks a free one).
+    Tcp(String),
+    /// A Unix domain socket path (`unix:/path` on the CLI).
+    Unix(PathBuf),
+}
+
+impl Listen {
+    /// Parses the CLI form: `unix:<path>` or a TCP `host:port`.
+    pub fn parse(text: &str) -> Self {
+        match text.strip_prefix("unix:") {
+            Some(path) => Listen::Unix(PathBuf::from(path)),
+            None => Listen::Tcp(text.to_string()),
+        }
+    }
+}
+
+/// Daemon configuration, CLI-shaped.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Results directory (CAS + per-job manifests).
+    pub results_dir: PathBuf,
+    /// Worker pool size — concurrently executing jobs.
+    pub workers: usize,
+    /// Per-run DAG concurrency handed to the scheduler.
+    pub stage_jobs: usize,
+    /// CAS janitor cadence; `None` disables the janitor.
+    pub gc_interval: Option<Duration>,
+    /// CAS size budget the janitor enforces.
+    pub gc_max_bytes: u64,
+    /// The shutdown token (bridged from SIGTERM by `pv3t1d serve`).
+    pub shutdown: CancelToken,
+    /// Print a line per lifecycle event to stdout.
+    pub verbose: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            listen: Listen::Tcp("127.0.0.1:0".to_string()),
+            results_dir: PathBuf::from("results"),
+            workers: 2,
+            stage_jobs: 2,
+            gc_interval: None,
+            gc_max_bytes: 256 * 1024 * 1024,
+            shutdown: CancelToken::new(),
+            verbose: false,
+        }
+    }
+}
+
+/// State shared by connection handlers, workers, and the janitor.
+pub(crate) struct Shared {
+    pub(crate) jobs: JobTable,
+    pub(crate) flight: Arc<FlightTable>,
+    pub(crate) results_dir: PathBuf,
+    pub(crate) stage_jobs: usize,
+    pub(crate) shutdown: CancelToken,
+    pub(crate) janitor: JanitorState,
+    active_connections: AtomicUsize,
+    started: Instant,
+    verbose: bool,
+}
+
+/// A running daemon. Dropping it does **not** stop the threads — call
+/// [`Server::shutdown`] (or let the process exit).
+pub struct Server {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    addr: String,
+    unix_path: Option<PathBuf>,
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+/// One accepted connection, abstracting TCP vs Unix sockets.
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> io::Result<Conn> {
+        match self {
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+        }
+    }
+
+    fn configure(&self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_TIMEOUT))
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(READ_TIMEOUT))
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Listener {
+    fn bind(listen: &Listen) -> io::Result<(Listener, String, Option<PathBuf>)> {
+        match listen {
+            Listen::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                let actual = l.local_addr()?.to_string();
+                l.set_nonblocking(true)?;
+                Ok((Listener::Tcp(l), actual, None))
+            }
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                // A stale socket file from a previous daemon blocks the
+                // bind; remove it (connect-refused probes confirm it is
+                // dead territory anyway, this is the standard dance).
+                let _ = std::fs::remove_file(path);
+                let l = std::os::unix::net::UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok((
+                    Listener::Unix(l),
+                    format!("unix:{}", path.display()),
+                    Some(path.clone()),
+                ))
+            }
+            #[cfg(not(unix))]
+            Listen::Unix(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "unix sockets are only supported on unix",
+            )),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+impl Server {
+    /// Binds, spawns the accept loop + worker pool + janitor, and
+    /// returns immediately.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let (listener, addr, unix_path) = Listener::bind(&config.listen)?;
+        std::fs::create_dir_all(config.results_dir.join("jobs"))?;
+        let shared = Arc::new(Shared {
+            jobs: JobTable::new(),
+            flight: Arc::new(FlightTable::new()),
+            results_dir: config.results_dir.clone(),
+            stage_jobs: config.stage_jobs.max(1),
+            shutdown: config.shutdown.clone(),
+            janitor: JanitorState::new(),
+            active_connections: AtomicUsize::new(0),
+            started: Instant::now(),
+            verbose: config.verbose,
+        });
+
+        let mut threads = Vec::new();
+        let accept_shared = shared.clone();
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, accept_shared))?,
+        );
+        for i in 0..config.workers.max(1) {
+            let worker_shared = shared.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(worker_shared))?,
+            );
+        }
+        if let Some(interval) = config.gc_interval {
+            let janitor_shared = shared.clone();
+            let jc = JanitorConfig {
+                store_root: config.results_dir.join("cas"),
+                interval,
+                max_bytes: config.gc_max_bytes,
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-janitor".into())
+                    .spawn(move || janitor::run(jc, janitor_shared))?,
+            );
+        }
+        if config.verbose {
+            println!("serve: listening on {addr} ({} workers)", config.workers.max(1));
+        }
+        Ok(Server {
+            shared,
+            threads,
+            addr,
+            unix_path,
+        })
+    }
+
+    /// The bound address — with `--listen 127.0.0.1:0` this is where
+    /// the daemon actually ended up.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The token that stops the daemon when cancelled (hand it to a
+    /// signal handler).
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shared.shutdown.clone()
+    }
+
+    /// Blocks until the shutdown token fires, then drains.
+    pub fn wait(self) {
+        while !self.shared.shutdown.is_cancelled() {
+            std::thread::sleep(POLL);
+        }
+        self.shutdown();
+    }
+
+    /// Graceful drain: stop accepting, cancel every job (the scheduler
+    /// stops at the next unit boundary and writes partial manifests),
+    /// retire the queue, and join all daemon threads.
+    pub fn shutdown(self) {
+        self.shared.shutdown.cancel();
+        self.shared.jobs.cancel_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // Workers exit without draining the queue on shutdown; mark the
+        // leftovers cancelled so their event streams terminate.
+        for id in self.shared.jobs.active_ids() {
+            self.shared.jobs.finish(id, JobState::Cancelled, None, None);
+        }
+        if let Some(path) = &self.unix_path {
+            let _ = std::fs::remove_file(path);
+        }
+        if self.shared.verbose {
+            println!("serve: drained and stopped");
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.is_cancelled() {
+            return;
+        }
+        match listener.accept() {
+            Ok(conn) => {
+                if shared.active_connections.fetch_add(1, Ordering::AcqRel) >= MAX_CONNECTIONS {
+                    shared.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    let mut conn = conn;
+                    let _ = http::write_response(&mut conn, 503, "{\"error\":\"overloaded\"}");
+                    continue;
+                }
+                let conn_shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".into())
+                    .spawn(move || {
+                        let _ = handle_connection(conn, &conn_shared);
+                        conn_shared.active_connections.fetch_sub(1, Ordering::AcqRel);
+                    });
+                if spawned.is_err() {
+                    shared.active_connections.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(claim) = shared.jobs.claim(&shared.shutdown) {
+        if shared.verbose {
+            println!("serve: job {} ({}) started", claim.id, claim.scenario.name);
+        }
+        let opts = RunOptions {
+            jobs: shared.stage_jobs,
+            results_dir: shared.results_dir.clone(),
+            cancel: Some(claim.cancel.clone()),
+            flight: Some(shared.flight.clone()),
+            events: Some(claim.events.clone()),
+            ..RunOptions::default()
+        };
+        match run_scenario(&claim.scenario, &opts) {
+            Ok(summary) => {
+                // The per-job manifest is written even for cancelled and
+                // failed runs — it records which stages completed, so a
+                // restarted daemon (or operator) can see what resumed.
+                let path = shared
+                    .results_dir
+                    .join("jobs")
+                    .join(format!("{}.run.json", claim.id));
+                let _ = summary.write_to(&path);
+                let cancelled = summary
+                    .stages
+                    .iter()
+                    .any(|s| matches!(s.status, StageStatus::Cancelled(_)));
+                let state = if summary.ok() {
+                    JobState::Done
+                } else if cancelled {
+                    JobState::Cancelled
+                } else {
+                    JobState::Failed
+                };
+                if shared.verbose {
+                    println!("serve: job {} {}", claim.id, state.word());
+                }
+                shared.jobs.finish(claim.id, state, Some(summary.to_json()), None);
+            }
+            Err(e) => {
+                if shared.verbose {
+                    println!("serve: job {} failed: {e}", claim.id);
+                }
+                shared
+                    .jobs
+                    .finish(claim.id, JobState::Failed, None, Some(e.to_string()));
+            }
+        }
+    }
+}
+
+fn handle_connection(conn: Conn, shared: &Shared) -> io::Result<()> {
+    conn.configure()?;
+    let mut writer = conn.try_clone()?;
+    let mut reader = BufReader::new(conn);
+    let request = match http::read_request(&mut reader)? {
+        Ok(Some(req)) => req,
+        Ok(None) => return Ok(()),
+        Err(bad) => {
+            let mut err = Json::object();
+            err.insert("error", Json::Str(bad.to_string()));
+            return http::write_response(&mut writer, 400, &err.render());
+        }
+    };
+    route(&request, &mut writer, shared)
+}
+
+fn respond(w: &mut impl Write, status: u16, doc: &Json) -> io::Result<()> {
+    http::write_response(w, status, &doc.render())
+}
+
+fn error_doc(message: &str) -> Json {
+    let mut o = Json::object();
+    o.insert("error", Json::Str(message.to_string()));
+    o
+}
+
+fn route(req: &http::Request, w: &mut impl Write, shared: &Shared) -> io::Result<()> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => respond(w, 200, &healthz(shared)),
+        ("POST", ["runs"]) => submit(req, w, shared),
+        ("GET", ["jobs"]) => respond(w, 200, &shared.jobs.list_json()),
+        ("GET", ["jobs", id]) => match parse_id(id).and_then(|id| shared.jobs.status_json(id)) {
+            Some(doc) => respond(w, 200, &doc),
+            None => respond(w, 404, &error_doc("no such job")),
+        },
+        ("DELETE", ["jobs", id]) => match parse_id(id).and_then(|id| shared.jobs.cancel(id)) {
+            Some(state) => {
+                let mut doc = Json::object();
+                doc.insert("cancelled", Json::Bool(true));
+                doc.insert("was", Json::Str(state.word().to_string()));
+                respond(w, 202, &doc)
+            }
+            None => respond(w, 404, &error_doc("no such job")),
+        },
+        ("GET", ["jobs", id, "events"]) => match parse_id(id).and_then(|id| shared.jobs.events(id))
+        {
+            Some(bus) => stream_events(w, &bus, shared),
+            None => respond(w, 404, &error_doc("no such job")),
+        },
+        (_, ["healthz" | "runs" | "jobs", ..]) => respond(w, 405, &error_doc("method not allowed")),
+        _ => respond(w, 404, &error_doc("no such route")),
+    }
+}
+
+fn parse_id(text: &str) -> Option<u64> {
+    text.parse::<u64>().ok()
+}
+
+fn healthz(shared: &Shared) -> Json {
+    let (queued, running, finished) = shared.jobs.counts();
+    let mut jobs = Json::object();
+    jobs.insert("queued", Json::Num(queued as f64));
+    jobs.insert("running", Json::Num(running as f64));
+    jobs.insert("finished", Json::Num(finished as f64));
+    let mut flight = Json::object();
+    flight.insert(
+        "executed_total",
+        Json::Num(shared.flight.executed_total() as f64),
+    );
+    flight.insert(
+        "coalesced_total",
+        Json::Num(shared.flight.coalesced_total() as f64),
+    );
+    let mut doc = Json::object();
+    doc.insert("ok", Json::Bool(true));
+    doc.insert("draining", Json::Bool(shared.shutdown.is_cancelled()));
+    doc.insert(
+        "uptime_seconds",
+        Json::Num(shared.started.elapsed().as_secs_f64()),
+    );
+    doc.insert("jobs", jobs);
+    doc.insert("flight", flight);
+    doc.insert("gc", shared.janitor.to_json());
+    doc
+}
+
+fn submit(req: &http::Request, w: &mut impl Write, shared: &Shared) -> io::Result<()> {
+    if shared.shutdown.is_cancelled() {
+        return respond(w, 503, &error_doc("draining"));
+    }
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return respond(w, 400, &error_doc("scenario body is not UTF-8")),
+    };
+    let scenario = match Scenario::parse(text) {
+        Ok(sc) => sc,
+        Err(e) => return respond(w, 400, &error_doc(&e.to_string())),
+    };
+    if let Err(e) = scenario.validate() {
+        return respond(w, 400, &error_doc(&e.to_string()));
+    }
+    let mut doc = Json::object();
+    doc.insert("scenario", Json::Str(scenario.name.clone()));
+    let id = shared.jobs.submit(scenario);
+    doc.insert("job", Json::Num(id as f64));
+    respond(w, 202, &doc)
+}
+
+/// Tails a job's event bus as close-delimited NDJSON: replays history
+/// from cursor 0, then follows live until the bus closes (job terminal)
+/// or the daemon shuts down.
+fn stream_events(w: &mut impl Write, bus: &obs::EventBus, shared: &Shared) -> io::Result<()> {
+    http::write_stream_head(w)?;
+    let mut cursor = 0usize;
+    loop {
+        let (events, closed) = bus.wait_from(cursor, Duration::from_millis(200));
+        cursor += events.len();
+        for event in &events {
+            writeln!(w, "{}", event.render())?;
+        }
+        if !events.is_empty() {
+            w.flush()?;
+        }
+        if closed || shared.shutdown.is_cancelled() {
+            return w.flush();
+        }
+    }
+}
