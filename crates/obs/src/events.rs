@@ -153,6 +153,51 @@ mod tests {
         assert!(bus.is_closed());
     }
 
+    /// Regression guard for the close boundary: a consumer tailing with
+    /// `wait_from` must never observe the terminal event without the
+    /// closed flag when publish-then-close races its replay. Batch and
+    /// flag are read under one lock acquisition, so the final batch that
+    /// drains the log must also carry `closed = true`.
+    #[test]
+    fn tail_never_misses_the_closed_transition() {
+        for round in 0..200 {
+            let bus = EventBus::new();
+            let n = 1 + (round % 7);
+            let producer = {
+                let bus = bus.clone();
+                std::thread::spawn(move || {
+                    for i in 0..n {
+                        bus.publish(ev(i as f64));
+                        if i % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                    bus.close();
+                })
+            };
+            let mut seen = Vec::new();
+            let mut cursor = 0;
+            loop {
+                let (batch, closed) = bus.wait_from(cursor, Duration::from_secs(10));
+                cursor += batch.len();
+                seen.extend(batch);
+                if closed {
+                    break;
+                }
+            }
+            producer.join().unwrap();
+            // The consumer left its loop on `closed`; by then every
+            // event — including the terminal record — must have been
+            // replayed, because close happens-after the last publish.
+            assert_eq!(seen.len(), n, "round {round}: lost events at the close boundary");
+            assert_eq!(seen.last(), Some(&ev((n - 1) as f64)));
+            // Re-reading past the end on a closed bus stays terminal.
+            let (extra, closed) = bus.wait_from(cursor, Duration::from_millis(1));
+            assert!(extra.is_empty());
+            assert!(closed);
+        }
+    }
+
     #[test]
     fn timeout_returns_without_events() {
         let bus = EventBus::new();

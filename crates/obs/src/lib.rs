@@ -21,7 +21,11 @@
 //!   while disabled;
 //! * [`EventBus`] — an append-only, cursor-replayable progress-event log
 //!   the scheduler publishes into and the `pv3t1d serve` daemon streams
-//!   to clients as newline-delimited JSON.
+//!   to clients as newline-delimited JSON;
+//! * [`log`] — a leveled structured NDJSON log layer (stderr or file
+//!   sink with bounded rotation) whose disabled path is one atomic load;
+//! * [`prom`] — Prometheus text-format exposition for a registry, plus
+//!   a strict syntax checker used by tests and CI.
 //!
 //! # Determinism contract
 //!
@@ -59,7 +63,9 @@
 pub mod cancel;
 pub mod events;
 pub mod json;
+pub mod log;
 pub mod manifest;
+pub mod prom;
 pub mod registry;
 pub mod trace;
 

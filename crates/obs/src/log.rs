@@ -1,0 +1,302 @@
+//! Leveled structured NDJSON logging.
+//!
+//! One process-global sink, mirroring the [`crate::trace`] design: the
+//! disabled fast path is a single relaxed atomic load so instrumented
+//! code costs nothing when no sink is installed. Each emitted line is a
+//! self-contained JSON object — `ts_ms`, `level`, `msg`, plus caller
+//! fields — rendered through [`Json`], whose BTreeMap-backed objects
+//! keep key order deterministic and greppable.
+//!
+//! Sinks are either stderr or a file with bounded rotation: when the
+//! active file exceeds `max_bytes` the writer renames it to `<path>.1`
+//! (replacing any previous `.1`) and reopens fresh, so a long-lived
+//! daemon holds at most two generations on disk.
+
+use crate::json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered so that a level filter admits everything at or
+/// above it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Fine-grained diagnostics (per-request detail).
+    Debug = 1,
+    /// Normal operational events.
+    Info = 2,
+    /// Unexpected but recoverable conditions.
+    Warn = 3,
+    /// Failures that lose work.
+    Error = 4,
+}
+
+impl Level {
+    /// The lowercase wire word (`"info"`, …) used in NDJSON lines and
+    /// CLI flags.
+    pub fn word(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a CLI word; accepts any case.
+    pub fn parse(word: &str) -> Option<Level> {
+        match word.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = disabled; otherwise the minimum admitted `Level as u8`.
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(0);
+
+enum Target {
+    Stderr,
+    File {
+        path: PathBuf,
+        file: File,
+        written: u64,
+        max_bytes: u64,
+    },
+}
+
+struct Sink {
+    target: Target,
+}
+
+static SINK: Mutex<Option<Sink>> = Mutex::new(None);
+
+/// Installs a stderr sink admitting `level` and above.
+pub fn init_stderr(level: Level) {
+    *SINK.lock().unwrap() = Some(Sink {
+        target: Target::Stderr,
+    });
+    MIN_LEVEL.store(level as u8, Ordering::Release);
+}
+
+/// Installs a file sink admitting `level` and above. The file is opened
+/// in append mode; once it exceeds `max_bytes` it is rotated to
+/// `<path>.1` and reopened.
+pub fn init_file(path: &str, level: Level, max_bytes: u64) -> io::Result<()> {
+    let file = OpenOptions::new().create(true).append(true).open(path)?;
+    let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+    *SINK.lock().unwrap() = Some(Sink {
+        target: Target::File {
+            path: PathBuf::from(path),
+            file,
+            written,
+            max_bytes: max_bytes.max(1024),
+        },
+    });
+    MIN_LEVEL.store(level as u8, Ordering::Release);
+    Ok(())
+}
+
+/// Tears down the sink, flushing buffered output. Subsequent `log`
+/// calls take the disabled fast path again.
+pub fn shutdown() {
+    MIN_LEVEL.store(0, Ordering::Release);
+    if let Some(mut sink) = SINK.lock().unwrap().take() {
+        if let Target::File { file, .. } = &mut sink.target {
+            let _ = file.flush();
+        }
+    }
+}
+
+/// Whether a record at `level` would be emitted. One relaxed atomic
+/// load on the disabled path.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    let min = MIN_LEVEL.load(Ordering::Relaxed);
+    min != 0 && level as u8 >= min
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Emits one NDJSON record: `{"level":…,"msg":…,"ts_ms":…,…fields}`.
+/// Cheap no-op when the sink is absent or filters out `level`.
+pub fn log(level: Level, msg: &str, fields: &[(&str, Json)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut obj = Json::object();
+    obj.insert("ts_ms", Json::Num(now_ms() as f64));
+    obj.insert("level", Json::Str(level.word().to_string()));
+    obj.insert("msg", Json::Str(msg.to_string()));
+    for (key, value) in fields {
+        obj.insert(key, value.clone());
+    }
+    let mut line = obj.render();
+    line.push('\n');
+
+    let mut guard = SINK.lock().unwrap();
+    let Some(sink) = guard.as_mut() else { return };
+    match &mut sink.target {
+        Target::Stderr => {
+            let _ = io::stderr().write_all(line.as_bytes());
+        }
+        Target::File {
+            path,
+            file,
+            written,
+            max_bytes,
+        } => {
+            if *written + line.len() as u64 > *max_bytes && *written > 0 {
+                let _ = file.flush();
+                let rotated = {
+                    let mut p = path.clone().into_os_string();
+                    p.push(".1");
+                    PathBuf::from(p)
+                };
+                let _ = std::fs::rename(&*path, &rotated);
+                match OpenOptions::new().create(true).append(true).open(&*path) {
+                    Ok(fresh) => {
+                        *file = fresh;
+                        *written = 0;
+                    }
+                    Err(_) => {
+                        // Keep writing to the renamed handle rather than
+                        // dropping records.
+                    }
+                }
+            }
+            if file.write_all(line.as_bytes()).is_ok() {
+                *written += line.len() as u64;
+            }
+        }
+    }
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Debug, msg, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Info, msg, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Warn, msg, fields);
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(msg: &str, fields: &[(&str, Json)]) {
+    log(Level::Error, msg, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // The sink is process-global, so every test that installs one runs
+    // under this lock to keep `cargo test`'s parallel threads apart.
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn level_words_round_trip() {
+        for level in [Level::Debug, Level::Info, Level::Warn, Level::Error] {
+            assert_eq!(Level::parse(level.word()), Some(level));
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+    }
+
+    #[test]
+    fn disabled_by_default_and_after_shutdown() {
+        let _g = lock();
+        shutdown();
+        assert!(!enabled(Level::Error));
+        init_stderr(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        shutdown();
+        assert!(!enabled(Level::Error));
+    }
+
+    #[test]
+    fn file_sink_writes_parseable_ndjson_and_filters_levels() {
+        let _g = lock();
+        let dir = std::env::temp_dir().join(format!("obs-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ndjson");
+        let _ = std::fs::remove_file(&path);
+        init_file(path.to_str().unwrap(), Level::Info, 1 << 20).unwrap();
+        info(
+            "job accepted",
+            &[
+                ("request_id", Json::Str("req-7".into())),
+                ("queue_depth", Json::Num(3.0)),
+            ],
+        );
+        debug("filtered out", &[]);
+        shutdown();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "debug below the filter must not appear");
+        let parsed = Json::parse(lines[0]).expect("log line must be valid JSON");
+        assert_eq!(parsed.get("level").and_then(Json::as_str), Some("info"));
+        assert_eq!(parsed.get("msg").and_then(Json::as_str), Some("job accepted"));
+        assert_eq!(
+            parsed.get("request_id").and_then(Json::as_str),
+            Some("req-7")
+        );
+        assert_eq!(parsed.get("queue_depth").and_then(Json::as_f64), Some(3.0));
+        assert!(parsed.get("ts_ms").and_then(Json::as_f64).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotation_keeps_at_most_two_generations() {
+        let _g = lock();
+        let dir = std::env::temp_dir().join(format!("obs-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.ndjson");
+        let rotated = dir.join("r.ndjson.1");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+        // max_bytes clamps up to 1024, so ~20 lines of ~100 bytes force
+        // at least one rotation.
+        init_file(path.to_str().unwrap(), Level::Info, 1).unwrap();
+        for i in 0..40 {
+            info(
+                "rotation filler line with some padding to grow the file",
+                &[("i", Json::Num(i as f64))],
+            );
+        }
+        shutdown();
+        assert!(rotated.exists(), "rotation must have produced <path>.1");
+        let live = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        assert!(live.len() as u64 <= 2048, "live file stays bounded");
+        // Every surviving line is still valid NDJSON.
+        for line in live.lines().chain(old.lines()) {
+            Json::parse(line).expect("rotated output must stay line-valid");
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&rotated);
+    }
+}

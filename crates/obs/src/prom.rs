@@ -1,0 +1,365 @@
+//! Prometheus text-format exposition (version 0.0.4) for a
+//! [`MetricsRegistry`], plus a strict syntax checker used by the tests
+//! and CI smoke jobs.
+//!
+//! The workspace's dot-separated metric names (`orchestrator.cas.hits`)
+//! are not legal Prometheus names, so [`render`] sanitizes them — every
+//! character outside `[a-zA-Z0-9_:]` becomes `_`, with a leading `_` for
+//! names starting with a digit. Sanitization can collide (`a.b` and
+//! `a_b` map to the same family); colliding families get a `_dupN`
+//! suffix so the exposition never emits two `# TYPE` lines for one name.
+//!
+//! Histograms follow the native Prometheus histogram convention:
+//! cumulative `_bucket{le="…"}` samples (the underflow mass counts into
+//! every bucket, since those observations are `<=` any upper bound),
+//! a `_bucket{le="+Inf"}` equal to `_count`, plus `_sum` and `_count`.
+
+use crate::registry::MetricsRegistry;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Sanitizes one metric name into the Prometheus name charset.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Claims a unique family name, suffixing `_dupN` on collision.
+fn claim(seen: &mut BTreeSet<String>, name: &str) -> String {
+    let base = sanitize_name(name);
+    if seen.insert(base.clone()) {
+        return base;
+    }
+    for n in 2.. {
+        let candidate = format!("{base}_dup{n}");
+        if seen.insert(candidate.clone()) {
+            return candidate;
+        }
+    }
+    unreachable!("the candidate space is unbounded")
+}
+
+/// Formats a sample value the way Prometheus expects (Go-style floats;
+/// integral values print without a decimal point, which the text format
+/// accepts for every metric kind).
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+/// Counters, gauges, then histograms, each preceded by a `# TYPE` line;
+/// families are emitted in sorted (registry) order.
+pub fn render(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut seen = BTreeSet::new();
+    for (name, &value) in registry.counters() {
+        let family = claim(&mut seen, name);
+        let _ = writeln!(out, "# TYPE {family} counter");
+        let _ = writeln!(out, "{family} {value}");
+    }
+    for (name, &value) in registry.gauges() {
+        let family = claim(&mut seen, name);
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        let _ = writeln!(out, "{family} {}", num(value));
+    }
+    for (name, h) in registry.histograms() {
+        let family = claim(&mut seen, name);
+        // The derived sample names must be unique too.
+        seen.insert(format!("{family}_bucket"));
+        seen.insert(format!("{family}_sum"));
+        seen.insert(format!("{family}_count"));
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        let (lo, hi) = h.bounds();
+        let width = (hi - lo) / h.buckets().len() as f64;
+        // Cumulative counts: everything below a bucket's upper bound,
+        // including the underflow mass.
+        let mut cumulative = h.underflow();
+        for (i, &c) in h.buckets().iter().enumerate() {
+            cumulative += c;
+            let le = lo + (i as f64 + 1.0) * width;
+            let _ = writeln!(out, "{family}_bucket{{le=\"{}\"}} {cumulative}", num(le));
+        }
+        let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{family}_sum {}", num(h.sum()));
+        let _ = writeln!(out, "{family}_count {}", h.count());
+    }
+    out
+}
+
+fn is_name(text: &str) -> bool {
+    let mut chars = text.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_value(text: &str) -> bool {
+    matches!(text, "+Inf" | "-Inf" | "NaN") || text.parse::<f64>().is_ok()
+}
+
+/// Splits `name{labels}` into the name and the label body (without
+/// braces); `None` label body when there is no brace.
+fn split_labels(sample: &str) -> Result<(&str, Option<&str>), String> {
+    match sample.find('{') {
+        None => Ok((sample, None)),
+        Some(open) => {
+            let close = sample
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label braces in {sample:?}"))?;
+            if close != sample.len() - 1 {
+                return Err(format!("trailing bytes after labels in {sample:?}"));
+            }
+            Ok((&sample[..open], Some(&sample[open + 1..close])))
+        }
+    }
+}
+
+fn check_labels(body: &str) -> Result<(), String> {
+    // `key="value"` pairs, comma-separated; values may contain escaped
+    // quotes. A tiny state walk instead of a regex.
+    let mut rest = body.trim_end_matches(',');
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {body:?}"))?;
+        let key = &rest[..eq];
+        if !is_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        let after = &rest[eq + 1..];
+        if !after.starts_with('"') {
+            return Err(format!("label value for {key:?} is not quoted"));
+        }
+        // Find the closing unescaped quote.
+        let mut end = None;
+        let bytes = after.as_bytes();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' => i += 2,
+                b'"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        rest = after[end + 1..].trim_start_matches(',');
+    }
+    Ok(())
+}
+
+/// Validates Prometheus text-format syntax line by line: comments
+/// (`# HELP` / `# TYPE` with a known metric type), samples
+/// (`name[{labels}] value [timestamp]`), and blank lines. Also enforces
+/// that no family is `# TYPE`-declared twice. Returns the first
+/// offending line's number and problem.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut typed = BTreeSet::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let fail = |msg: String| Err(format!("line {n}: {msg}"));
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let Some(name) = parts.next() else {
+                        return fail("# TYPE without a metric name".into());
+                    };
+                    if !is_name(name) {
+                        return fail(format!("bad metric name {name:?}"));
+                    }
+                    if !matches!(
+                        parts.next(),
+                        Some("counter" | "gauge" | "histogram" | "summary" | "untyped")
+                    ) {
+                        return fail(format!("unknown metric type for {name}"));
+                    }
+                    if !typed.insert(name.to_string()) {
+                        return fail(format!("duplicate # TYPE for {name}"));
+                    }
+                }
+                Some("HELP") => {
+                    if parts.next().is_none() {
+                        return fail("# HELP without a metric name".into());
+                    }
+                }
+                _ => {} // free-form comment
+            }
+            continue;
+        }
+        // A sample: name[{labels}] value [timestamp]
+        let (sample, value_and_ts) = match line.find(|c: char| c.is_ascii_whitespace()) {
+            // Labels may contain spaces inside quoted values; split at
+            // the whitespace after the closing brace instead.
+            Some(_) if line.contains('{') => {
+                let close = match line.rfind('}') {
+                    Some(c) => c,
+                    None => return fail(format!("unclosed label braces in {line:?}")),
+                };
+                (&line[..=close], line[close + 1..].trim())
+            }
+            Some(split) => (&line[..split], line[split..].trim()),
+            None => return fail(format!("sample without a value: {line:?}")),
+        };
+        let (name, labels) = match split_labels(sample) {
+            Ok(parts) => parts,
+            Err(e) => return fail(e),
+        };
+        if !is_name(name) {
+            return fail(format!("bad metric name {name:?}"));
+        }
+        if let Some(body) = labels {
+            if let Err(e) = check_labels(body) {
+                return fail(e);
+            }
+        }
+        let mut fields = value_and_ts.split_whitespace();
+        match fields.next() {
+            Some(v) if is_value(v) => {}
+            Some(v) => return fail(format!("bad sample value {v:?}")),
+            None => return fail(format!("sample without a value: {line:?}")),
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return fail(format!("bad timestamp {ts:?}"));
+            }
+        }
+        if fields.next().is_some() {
+            return fail(format!("trailing bytes on sample line {line:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::FixedHistogram;
+
+    #[test]
+    fn sanitizes_workspace_names() {
+        assert_eq!(sanitize_name("orchestrator.cas.hits"), "orchestrator_cas_hits");
+        assert_eq!(sanitize_name("scheme.RSP-FIFO.perf"), "scheme_RSP_FIFO_perf");
+        assert_eq!(sanitize_name("3t1d.cells"), "_3t1d_cells");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.inc("serve.requests.total", 42);
+        m.set_gauge("serve.queue.depth", 3.0);
+        m.set_gauge("serve.cas.hit_ratio", 0.75);
+        let h = m.histogram("serve.job.seconds", 0.0, 2.0, 4);
+        h.record(-0.5);
+        h.record(0.25);
+        h.record(1.25);
+        h.record(9.0);
+        m
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_histograms() {
+        let text = render(&sample_registry());
+        for needle in [
+            "# TYPE serve_requests_total counter",
+            "serve_requests_total 42",
+            "# TYPE serve_queue_depth gauge",
+            "serve_queue_depth 3",
+            "serve_cas_hit_ratio 0.75",
+            "# TYPE serve_job_seconds histogram",
+            // Underflow counts into every finite bucket cumulatively.
+            "serve_job_seconds_bucket{le=\"0.5\"} 2",
+            "serve_job_seconds_bucket{le=\"1\"} 2",
+            "serve_job_seconds_bucket{le=\"1.5\"} 3",
+            "serve_job_seconds_bucket{le=\"2\"} 3",
+            "serve_job_seconds_bucket{le=\"+Inf\"} 4",
+            "serve_job_seconds_sum 10",
+            "serve_job_seconds_count 4",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        validate(&text).expect("rendered exposition must validate");
+    }
+
+    #[test]
+    fn colliding_sanitized_names_stay_unique() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a.b", 1);
+        m.inc("a_b", 2);
+        let text = render(&m);
+        assert!(text.contains("# TYPE a_b counter"));
+        assert!(text.contains("# TYPE a_b_dup2 counter"));
+        validate(&text).expect("deduplicated exposition must validate");
+    }
+
+    #[test]
+    fn validator_accepts_real_world_shapes() {
+        let ok = "\
+# HELP http_requests_total The total number of HTTP requests.
+# TYPE http_requests_total counter
+http_requests_total{method=\"post\",code=\"200\"} 1027 1395066363000
+http_requests_total{method=\"post\",code=\"400\"}    3 1395066363000
+
+# A free-form comment.
+# TYPE rpc_duration_seconds histogram
+rpc_duration_seconds_bucket{le=\"0.05\"} 24054
+rpc_duration_seconds_bucket{le=\"+Inf\"} 144320
+rpc_duration_seconds_sum 53423
+rpc_duration_seconds_count 144320
+something_weird{problem=\"division by zero\"} +Inf
+";
+        validate(ok).expect("the exposition-format reference examples must pass");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for (bad, why) in [
+            ("metric_without_value", "missing value"),
+            ("9leading_digit 1", "bad name"),
+            ("name{unclosed=\"x\" 1", "unclosed braces"),
+            ("name{=\"x\"} 1", "empty label name"),
+            ("name{k=unquoted} 1", "unquoted label value"),
+            ("name not_a_number", "bad value"),
+            ("name 1 not_a_ts", "bad timestamp"),
+            ("name 1 2 3", "trailing bytes"),
+            ("# TYPE name flavor", "unknown type"),
+            ("# TYPE name counter\n# TYPE name counter", "duplicate TYPE"),
+        ] {
+            assert!(validate(bad).is_err(), "{why}: {bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_renders_zero_buckets() {
+        let mut m = MetricsRegistry::new();
+        m.put_histogram("empty", FixedHistogram::new(0.0, 1.0, 2));
+        let text = render(&m);
+        assert!(text.contains("empty_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("empty_count 0"));
+        validate(&text).unwrap();
+    }
+}

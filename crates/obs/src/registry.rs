@@ -149,6 +149,53 @@ impl FixedHistogram {
         (self.lo, self.hi)
     }
 
+    /// Estimates the `p`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket where the cumulative count crosses `p * count`,
+    /// assuming observations are uniformly spread inside each bucket —
+    /// the standard Prometheus-style histogram estimator.
+    ///
+    /// The estimate is always clamped to [`FixedHistogram::bounds`]:
+    /// quantiles falling into the underflow mass report `lo` and those in
+    /// the overflow mass report `hi` (the histogram does not know how far
+    /// out those observations actually were). Returns `None` for an empty
+    /// histogram or a `p` outside `[0, 1]` (including NaN).
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        let target = p * self.count as f64;
+        let mut cumulative = self.underflow as f64;
+        if target <= cumulative {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cumulative + c as f64;
+            if target <= next {
+                let frac = (target - cumulative) / c as f64;
+                // Clamp: float rounding in the width multiply must not
+                // push the estimate an ulp past the declared bounds.
+                return Some((self.lo + (i as f64 + frac) * width).clamp(self.lo, self.hi));
+            }
+            cumulative = next;
+        }
+        // Only the overflow mass remains above the target.
+        Some(self.hi)
+    }
+
+    /// The `(p50, p90, p99)` triple used by the exposition endpoints and
+    /// the report renderer. `None` when the histogram is empty.
+    pub fn quantile_summary(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.50)?,
+            self.quantile(0.90)?,
+            self.quantile(0.99)?,
+        ))
+    }
+
     /// Adds another histogram's counts into this one.
     ///
     /// # Panics
@@ -560,6 +607,59 @@ mod tests {
         assert_ne!(a.deterministic_fingerprint(), b.deterministic_fingerprint());
         assert_ne!(a.deterministic_fingerprint(), c.deterministic_fingerprint());
         assert_ne!(b.deterministic_fingerprint(), c.deterministic_fingerprint());
+    }
+
+    #[test]
+    fn quantiles_interpolate_known_distributions() {
+        // 100 uniform samples 0..100 in 10 width-10 buckets: every
+        // decile boundary is exact under linear interpolation.
+        let mut h = FixedHistogram::new(0.0, 100.0, 10);
+        for v in 0..100 {
+            h.record(v as f64 + 0.5);
+        }
+        assert_eq!(h.quantile(0.50), Some(50.0));
+        assert_eq!(h.quantile(0.90), Some(90.0));
+        assert_eq!(h.quantile(0.99), Some(99.0));
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile_summary(), Some((50.0, 90.0, 99.0)));
+
+        // A single-bucket point mass interpolates across that bucket.
+        let h = FixedHistogram::from_buckets(0.0, 8.0, vec![0, 4, 0, 0], 0, 0, 12.0);
+        assert_eq!(h.quantile(0.5), Some(3.0)); // halfway through [2, 4)
+        assert_eq!(h.quantile(1.0), Some(4.0)); // the bucket's upper edge
+
+        // A skewed two-bucket split: 90 in the first, 10 in the last.
+        let h = FixedHistogram::from_buckets(0.0, 10.0, vec![90, 0, 0, 0, 10], 0, 0, 0.0);
+        assert_eq!(h.quantile(0.45), Some(1.0)); // 45/90 through [0, 2)
+        assert_eq!(h.quantile(0.95), Some(9.0)); // 5/10 through [8, 10)
+    }
+
+    #[test]
+    fn quantiles_clamp_at_under_and_overflow() {
+        // All mass out of range: quantiles can only report the bounds.
+        let h = FixedHistogram::from_buckets(0.0, 10.0, vec![0, 0], 5, 5, 0.0);
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        assert_eq!(h.quantile(0.4), Some(0.0), "underflow mass clamps to lo");
+        assert_eq!(h.quantile(0.9), Some(10.0), "overflow mass clamps to hi");
+        assert_eq!(h.quantile(1.0), Some(10.0));
+
+        // Mixed: 2 underflow, 6 in [0,10), 2 overflow.
+        let h = FixedHistogram::from_buckets(0.0, 10.0, vec![6], 2, 2, 0.0);
+        assert_eq!(h.quantile(0.1), Some(0.0));
+        assert_eq!(h.quantile(0.5), Some(5.0)); // 3/6 through the bucket
+        assert_eq!(h.quantile(0.99), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_rejects_empty_and_out_of_range_p() {
+        let empty = FixedHistogram::new(0.0, 1.0, 4);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile_summary(), None);
+        let mut h = FixedHistogram::new(0.0, 1.0, 4);
+        h.record(0.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert_eq!(h.quantile(f64::NAN), None);
     }
 
     #[test]

@@ -98,6 +98,37 @@ proptest! {
     }
 
     #[test]
+    fn quantiles_are_monotone_in_p_and_bounded(
+        buckets in proptest::collection::vec(0u64..10_000, 1..16),
+        under in 0u64..500,
+        over in 0u64..500,
+        lo in -1_000.0f64..1_000.0,
+        span in 0.001f64..10_000.0,
+        ps in proptest::collection::vec(0.0f64..=1.0, 2..24),
+    ) {
+        let h = FixedHistogram::from_buckets(lo, lo + span, buckets, under, over, 0.0);
+        let (blo, bhi) = h.bounds();
+        if h.count() == 0 {
+            for &p in &ps {
+                prop_assert_eq!(h.quantile(p), None);
+            }
+            return Ok(());
+        }
+        let mut sorted = ps.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut prev = f64::NEG_INFINITY;
+        for &p in &sorted {
+            let q = h.quantile(p).expect("non-empty histogram has quantiles");
+            // Bounded by bounds(): the estimator never extrapolates past
+            // the histogram's range, even with under/overflow mass.
+            prop_assert!(q >= blo && q <= bhi, "q({p}) = {q} outside [{blo}, {bhi}]");
+            // Monotone in p.
+            prop_assert!(q >= prev, "q({p}) = {q} < previous {prev}");
+            prev = q;
+        }
+    }
+
+    #[test]
     fn merge_is_order_insensitive_for_fingerprints(
         a_counts in proptest::collection::vec((0u8..20, 0u64..1 << 40), 0..10),
         b_counts in proptest::collection::vec((0u8..20, 0u64..1 << 40), 0..10),

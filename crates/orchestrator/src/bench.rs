@@ -311,6 +311,27 @@ pub fn run_suite(label: &str, quick: bool, workers: usize, verbose: bool) -> Ben
     );
     note("trace.disabled_ns_per_call", ns_per_call);
 
+    // --- disabled-logger overhead ------------------------------------
+    // The NDJSON log layer makes the same near-zero-when-off promise as
+    // the tracer, under the same ceiling.
+    assert!(
+        !obs::log::enabled(obs::log::Level::Error),
+        "bench requires the log sink off"
+    );
+    let t0 = Instant::now();
+    for i in 0..sizes.trace_calls {
+        if obs::log::enabled(obs::log::Level::Debug) {
+            obs::log::debug("probe", &[("i", obs::Json::Num(i as f64))]);
+        }
+    }
+    let ns_per_call = t0.elapsed().as_nanos() as f64 / sizes.trace_calls as f64;
+    assert!(
+        ns_per_call < DISABLED_TRACE_NS_CEILING,
+        "disabled logger costs {ns_per_call:.1} ns/call \
+         (ceiling {DISABLED_TRACE_NS_CEILING} ns): the disabled fast path regressed"
+    );
+    note("log.disabled_ns_per_call", ns_per_call);
+
     // --- campaign throughput, 1 worker vs N -------------------------
     let pop = ChipPopulation::generate(
         TechNode::N32,

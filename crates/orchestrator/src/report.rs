@@ -135,6 +135,32 @@ fn render_manifest(out: &mut String, manifest: &Json) {
             }
             let _ = writeln!(out);
         }
+        // Histogram distributions with interpolated quantiles. The
+        // manifest's metrics object is exactly a registry serialization,
+        // so parse it back to borrow the quantile estimator.
+        if let Some(registry) = obs::MetricsRegistry::from_json(metrics) {
+            let populated: Vec<_> = registry
+                .histograms()
+                .iter()
+                .filter(|(_, h)| h.count() > 0)
+                .collect();
+            if !populated.is_empty() {
+                let _ = writeln!(out, "## Histograms\n");
+                let _ = writeln!(out, "| histogram | count | mean | p50 | p90 | p99 |");
+                let _ = writeln!(out, "|---|---:|---:|---:|---:|---:|");
+                for (name, h) in populated {
+                    let mean = h.sum() / h.count() as f64;
+                    let (p50, p90, p99) =
+                        h.quantile_summary().expect("non-empty histogram has quantiles");
+                    let _ = writeln!(
+                        out,
+                        "| {name} | {} | {mean:.3} | {p50:.3} | {p90:.3} | {p99:.3} |",
+                        h.count()
+                    );
+                }
+                let _ = writeln!(out);
+            }
+        }
     }
 }
 
@@ -279,7 +305,12 @@ mod tests {
                 "metrics": {
                   "counters": {"orchestrator.cas.hits": 1},
                   "gauges": {"compare.ipc": 0.97, "orchestrator.run.wall_seconds": 1.5},
-                  "histograms": {}
+                  "histograms": {
+                    "unit.latency_ms": {
+                      "lo": 0, "hi": 100, "buckets": [50, 30, 15, 5],
+                      "underflow": 0, "overflow": 0, "count": 100, "sum": 3000
+                    }
+                  }
                 }
               }
             }"#,
@@ -300,6 +331,12 @@ mod tests {
             "| orchestrator.cas.hits | 1.000 |",
             "## Measured-vs-paper checkpoints",
             "| ipc | 0.9700 |",
+            "## Histograms",
+            "| histogram | count | mean | p50 | p90 | p99 |",
+            // 100 samples over [0,100) in 4 buckets of width 25:
+            // p50 crosses at rank 50 = end of bucket 0 → 25;
+            // p90 is 10 into bucket 2's 15 → 50 + (10/15)·25.
+            "| unit.latency_ms | 100 | 30.000 | 25.000 | 66.667 | 95.000 |",
         ] {
             assert!(md.contains(needle), "missing {needle:?} in:\n{md}");
         }

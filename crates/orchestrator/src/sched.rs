@@ -81,6 +81,12 @@ pub struct RunOptions {
     /// JSON event per run/stage lifecycle transition for clients tailing
     /// `GET /jobs/<id>/events`.
     pub events: Option<EventBus>,
+    /// Correlation id minted by the serving layer at accept time. When
+    /// set it is stamped on every published event, woven into run/stage
+    /// trace-span names, carried in `obs::log` lines, and echoed in the
+    /// manifest's `execution` section — never in `results`, so it cannot
+    /// perturb the run fingerprint.
+    pub request_id: Option<String>,
 }
 
 impl Default for RunOptions {
@@ -94,6 +100,7 @@ impl Default for RunOptions {
             cancel: None,
             flight: None,
             events: None,
+            request_id: None,
         }
     }
 }
@@ -276,6 +283,9 @@ pub struct RunSummary {
     /// Scheduler metrics (`orchestrator.cas.hits`, …), merged into the
     /// run manifest's execution section.
     pub metrics: MetricsRegistry,
+    /// The serving layer's correlation id, echoed in the manifest's
+    /// `execution` section (absent for plain CLI runs).
+    pub request_id: Option<String>,
 }
 
 impl RunSummary {
@@ -350,6 +360,9 @@ impl RunSummary {
         execution.insert("executed", Json::Num(self.executed as f64));
         execution.insert("stages", per_stage);
         execution.insert("metrics", self.metrics.to_json());
+        if let Some(rid) = &self.request_id {
+            execution.insert("request_id", Json::Str(rid.clone()));
+        }
 
         let mut o = Json::object();
         o.insert("schema", Json::Num(RUN_SCHEMA as f64));
@@ -491,7 +504,27 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
     let started = Instant::now();
     let n = sc.stages.len();
     let jobs = opts.jobs.max(1);
-    let _run_span = obs::trace::span_with("orchestrator", || format!("run_scenario:{}", sc.name));
+    let _run_span = obs::trace::span_with("orchestrator", || match &opts.request_id {
+        Some(rid) => format!("run_scenario:{}@{rid}", sc.name),
+        None => format!("run_scenario:{}", sc.name),
+    });
+    // Fields every scheduler log line carries (the request id makes one
+    // daemon job greppable end to end).
+    let log_fields = |mut fields: Vec<(&'static str, Json)>| {
+        if let Some(rid) = &opts.request_id {
+            fields.push(("request_id", Json::Str(rid.clone())));
+        }
+        fields
+    };
+    if obs::log::enabled(obs::log::Level::Info) {
+        obs::log::info(
+            "run started",
+            &log_fields(vec![
+                ("scenario", Json::Str(sc.name.clone())),
+                ("stages", Json::Num(sc.stages.len() as f64)),
+            ]),
+        );
+    }
 
     let index_of: HashMap<&str, usize> = sc
         .stages
@@ -523,6 +556,9 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
     let publish = |event: &mut Json, kind: &str| {
         if let Some(bus) = &opts.events {
             event.insert("event", Json::Str(kind.to_string()));
+            if let Some(rid) = &opts.request_id {
+                event.insert("request_id", Json::Str(rid.clone()));
+            }
             bus.publish(event.clone());
         }
     };
@@ -592,6 +628,16 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                     ev.insert("error", err);
                 }
                 publish(&mut ev, "stage.finished");
+            }
+            if obs::log::enabled(obs::log::Level::Debug) {
+                obs::log::debug(
+                    "stage finished",
+                    &log_fields(vec![
+                        ("stage", Json::Str(sc.stages[i].id.clone())),
+                        ("status", Json::Str(st.result_word().to_string())),
+                        ("seconds", Json::Num(seconds[i])),
+                    ]),
+                );
             }
             let produced = st.is_ok();
             status[i] = Some(st);
@@ -763,9 +809,13 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
                 let params = s.params.clone();
                 let stage_id = s.id.clone();
                 let flight = opts.flight.clone();
+                let request_id = opts.request_id.clone();
                 std::thread::spawn(move || {
                     let _stage_span =
-                        obs::trace::span_with("orchestrator", || format!("stage:{stage_id}"));
+                        obs::trace::span_with("orchestrator", || match &request_id {
+                            Some(rid) => format!("stage:{stage_id}@{rid}"),
+                            None => format!("stage:{stage_id}"),
+                        });
                     let t0 = Instant::now();
                     let compute = || {
                         catch_unwind(AssertUnwindSafe(|| {
@@ -1002,6 +1052,7 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
         wall_seconds: started.elapsed().as_secs_f64(),
         jobs,
         metrics,
+        request_id: opts.request_id.clone(),
     };
     {
         let mut ev = Json::object();
@@ -1012,6 +1063,18 @@ pub fn run_scenario(sc: &Scenario, opts: &RunOptions) -> Result<RunSummary, Spec
         ev.insert("coalesced", Json::Num(coalesced_total as f64));
         ev.insert("wall_seconds", Json::Num(summary.wall_seconds));
         publish(&mut ev, "run.finished");
+    }
+    if obs::log::enabled(obs::log::Level::Info) {
+        obs::log::info(
+            "run finished",
+            &log_fields(vec![
+                ("scenario", Json::Str(sc.name.clone())),
+                ("ok", Json::Bool(summary.ok())),
+                ("cache_hits", Json::Num(summary.cache_hits as f64)),
+                ("executed", Json::Num(summary.executed as f64)),
+                ("wall_seconds", Json::Num(summary.wall_seconds)),
+            ]),
+        );
     }
     Ok(summary)
 }

@@ -17,10 +17,12 @@
 //!                              [--tolerance N] [--max-records N] [--out PATH]
 //! pv3t1d serve  --listen <addr|unix:PATH> [--results DIR] [--workers N]
 //!                              [--jobs N] [--gc-interval-secs S]
-//!                              [--gc-max-bytes B]
+//!                              [--gc-max-bytes B] [--log <PATH|stderr>]
+//!                              [--log-level LVL] [--sample-interval-secs S]
 //! pv3t1d loadtest [--addr HOST:PORT] [--clients N] [--requests N]
 //!                              [--label L] [--results DIR]
 //!                              [--compare PATH] [--threshold PCT]
+//! pv3t1d top    --addr HOST:PORT [--interval-secs S] [--once]
 //! ```
 //!
 //! Exit codes: `0` success; `1` at least one stage failed / timed out /
@@ -69,6 +71,8 @@ USAGE:
     pv3t1d loadtest [OPTIONS]                drive a daemon with concurrent
                                              clients, write serve.* metrics
                                              to BENCH_<label>.json
+    pv3t1d top    --addr HOST:PORT [OPTIONS] live dashboard over a running
+                                             daemon's /healthz + /metrics
     pv3t1d help                              this text
 
 OPTIONS:
@@ -117,10 +121,21 @@ OPTIONS:
                          (default 30)
     --gc-max-bytes <B>   (serve) CAS size budget the janitor trims to
                          (default 268435456)
+    --log <TARGET>       (serve) structured NDJSON logs to \"stderr\" or a
+                         file path (rotated once past 16 MiB); off when
+                         omitted
+    --log-level <LVL>    (serve) debug | info | warn | error
+                         (default info)
+    --sample-interval-secs <S>
+                         (serve) /metrics/history sampler cadence
+                         (default 1)
     --addr <HOST:PORT>   (loadtest) daemon to drive; omitted = self-host
                          an in-process daemon on 127.0.0.1:0
+                         (top) daemon to watch; required
     --clients <N>        (loadtest) concurrent client threads (default 32)
     --requests <N>       (loadtest) requests per client (default 4)
+    --interval-secs <S>  (top) redraw cadence (default 2)
+    --once               (top) print one frame and exit (no ANSI clear)
 ";
 
 struct Cli {
@@ -151,6 +166,11 @@ struct Cli {
     addr: Option<String>,
     clients: usize,
     requests: usize,
+    log: Option<String>,
+    log_level: String,
+    sample_interval_secs: f64,
+    interval_secs: f64,
+    once: bool,
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -185,6 +205,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
         addr: None,
         clients: 32,
         requests: 4,
+        log: None,
+        log_level: "info".to_string(),
+        sample_interval_secs: 1.0,
+        interval_secs: 2.0,
+        once: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -268,6 +293,25 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     .map_err(|e| format!("--gc-max-bytes: {e}"))?;
             }
             "--addr" => cli.addr = Some(value_of("--addr")?),
+            "--log" => cli.log = Some(value_of("--log")?),
+            "--log-level" => cli.log_level = value_of("--log-level")?,
+            "--sample-interval-secs" => {
+                cli.sample_interval_secs = value_of("--sample-interval-secs")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--sample-interval-secs: {e}"))?;
+                if !cli.sample_interval_secs.is_finite() || cli.sample_interval_secs <= 0.0 {
+                    return Err("--sample-interval-secs must be a positive number".into());
+                }
+            }
+            "--interval-secs" => {
+                cli.interval_secs = value_of("--interval-secs")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--interval-secs: {e}"))?;
+                if !cli.interval_secs.is_finite() || cli.interval_secs <= 0.0 {
+                    return Err("--interval-secs must be a positive number".into());
+                }
+            }
+            "--once" => cli.once = true,
             "--clients" => {
                 cli.clients = value_of("--clients")?
                     .parse::<usize>()
@@ -789,6 +833,15 @@ fn cmd_serve(cli: &Cli) -> Result<ExitCode, String> {
     if !cli.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
     }
+    if let Some(target) = &cli.log {
+        let level = obs::log::Level::parse(&cli.log_level)
+            .ok_or_else(|| format!("--log-level: unknown level {:?}", cli.log_level))?;
+        match target.as_str() {
+            "stderr" => obs::log::init_stderr(level),
+            path => obs::log::init_file(path, level, 16 * 1024 * 1024)
+                .map_err(|e| format!("--log {path}: {e}"))?,
+        }
+    }
     let config = serve::ServerConfig {
         listen: serve::Listen::parse(&cli.listen),
         results_dir: cli.opts.results_dir.clone(),
@@ -804,9 +857,28 @@ fn cmd_serve(cli: &Cli) -> Result<ExitCode, String> {
         // unit boundary, partial manifests are written), then exit.
         shutdown: interrupt::install(),
         verbose: true,
+        sample_interval: std::time::Duration::from_secs_f64(cli.sample_interval_secs),
     };
     let server = serve::Server::start(config).map_err(|e| format!("serve: {e}"))?;
     server.wait();
+    obs::log::shutdown();
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_top(cli: &Cli) -> Result<ExitCode, String> {
+    if !cli.positional.is_empty() {
+        return Err("top takes no positional arguments".into());
+    }
+    let addr = cli
+        .addr
+        .clone()
+        .ok_or("top needs --addr <HOST:PORT> (the daemon to watch)")?;
+    let config = serve::top::TopConfig {
+        addr,
+        interval: std::time::Duration::from_secs_f64(cli.interval_secs),
+        once: cli.once,
+    };
+    serve::top::run(&config).map_err(|e| format!("top: {e}"))?;
     Ok(ExitCode::SUCCESS)
 }
 
@@ -871,6 +943,11 @@ fn cmd_loadtest(cli: &Cli) -> Result<ExitCode, String> {
         outcome.wall_seconds,
         path.display()
     );
+    println!(
+        "loadtest {}: daemon /metrics cross-check: {} jobs finished, \
+         {} http requests observed",
+        config.label, outcome.daemon_jobs_finished, outcome.daemon_http_requests
+    );
 
     let mut failing = false;
     if outcome.failed > 0 {
@@ -910,6 +987,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(&cli),
         "serve" => cmd_serve(&cli),
         "loadtest" => cmd_loadtest(&cli),
+        "top" => cmd_top(&cli),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

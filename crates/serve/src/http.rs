@@ -111,9 +111,20 @@ pub fn reason(status: u16) -> &'static str {
 /// Writes a complete JSON response (`Content-Length` framing) and
 /// flushes. The connection is expected to close afterwards.
 pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — the `/metrics`
+/// exposition is `text/plain` and `/metrics/history` is NDJSON.
+pub fn write_response_typed<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         reason(status),
         body.len(),
     )?;

@@ -30,10 +30,13 @@ pub struct JanitorConfig {
     pub max_bytes: u64,
 }
 
-/// The janitor's externally visible telemetry (surfaced in `/healthz`).
+/// The janitor's externally visible telemetry (surfaced in `/healthz`
+/// and the `/metrics` exposition).
 #[derive(Debug, Default)]
 pub struct JanitorState {
     last: Mutex<Option<(u64, Json)>>,
+    bytes_freed_total: std::sync::atomic::AtomicU64,
+    removed_total: std::sync::atomic::AtomicU64,
 }
 
 impl JanitorState {
@@ -43,9 +46,32 @@ impl JanitorState {
     }
 
     fn record(&self, report: Json) {
+        use std::sync::atomic::Ordering;
+        let freed = report.get("bytes_freed").and_then(Json::as_u64).unwrap_or(0);
+        let removed = report.get("removed").and_then(Json::as_u64).unwrap_or(0);
+        self.bytes_freed_total.fetch_add(freed, Ordering::Relaxed);
+        self.removed_total.fetch_add(removed, Ordering::Relaxed);
         let mut last = self.last.lock().expect("janitor state poisoned");
         let passes = last.as_ref().map_or(0, |(n, _)| *n) + 1;
         *last = Some((passes, report));
+    }
+
+    /// Lifetime totals across every pass: `(passes, bytes_freed,
+    /// entries_removed)` — the cumulative counters the `/metrics`
+    /// exposition publishes (the per-pass report only shows the latest).
+    pub fn totals(&self) -> (u64, u64, u64) {
+        use std::sync::atomic::Ordering;
+        let passes = self
+            .last
+            .lock()
+            .expect("janitor state poisoned")
+            .as_ref()
+            .map_or(0, |(n, _)| *n);
+        (
+            passes,
+            self.bytes_freed_total.load(Ordering::Relaxed),
+            self.removed_total.load(Ordering::Relaxed),
+        )
     }
 
     /// `null` before the first pass; afterwards the latest

@@ -60,6 +60,10 @@ struct Job {
     /// A scheduler-level error message (spec/cycle errors), distinct
     /// from per-stage failures inside the manifest.
     error: Option<String>,
+    /// The HTTP-layer correlation id minted at accept time; echoed in
+    /// the status document and threaded into the scheduler's spans,
+    /// events, and log lines.
+    request_id: String,
 }
 
 /// The work a claimed job hands to a worker.
@@ -74,6 +78,8 @@ pub struct Claim {
     /// The job's progress bus (wired into the scheduler; the worker
     /// closes it when the job reaches a terminal state).
     pub events: EventBus,
+    /// The correlation id the submitting request minted.
+    pub request_id: String,
 }
 
 #[derive(Debug, Default)]
@@ -96,8 +102,9 @@ impl JobTable {
         Self::default()
     }
 
-    /// Accepts a scenario and queues it. Returns the new job id.
-    pub fn submit(&self, scenario: Scenario) -> u64 {
+    /// Accepts a scenario and queues it, recording the accepting
+    /// request's correlation id. Returns the new job id.
+    pub fn submit(&self, scenario: Scenario, request_id: String) -> u64 {
         let mut inner = self.inner.lock().expect("job table poisoned");
         inner.next_id += 1;
         let id = inner.next_id;
@@ -110,6 +117,7 @@ impl JobTable {
                 events: EventBus::new(),
                 manifest: None,
                 error: None,
+                request_id,
             },
         );
         inner.queue.push_back(id);
@@ -137,6 +145,7 @@ impl JobTable {
                     scenario: job.scenario.clone(),
                     cancel: job.cancel.clone(),
                     events: job.events.clone(),
+                    request_id: job.request_id.clone(),
                 });
             }
             if shutdown.is_cancelled() {
@@ -203,6 +212,7 @@ impl JobTable {
             o.insert("scenario", Json::Str(job.scenario.name.clone()));
             o.insert("state", Json::Str(job.state.word().to_string()));
             o.insert("events", Json::Num(job.events.len() as f64));
+            o.insert("request_id", Json::Str(job.request_id.clone()));
             if let Some(manifest) = &job.manifest {
                 o.insert("manifest", manifest.clone());
             }
@@ -275,7 +285,7 @@ mod tests {
     #[test]
     fn submit_claim_finish_round_trip() {
         let table = JobTable::new();
-        let id = table.submit(scenario("a"));
+        let id = table.submit(scenario("a"), "req-000001".into());
         assert_eq!(table.counts(), (1, 0, 0));
         let shutdown = CancelToken::new();
         let claim = table.claim(&shutdown).unwrap();
@@ -285,6 +295,11 @@ mod tests {
         assert_eq!(table.counts(), (0, 0, 1));
         let status = table.status_json(id).unwrap();
         assert_eq!(status.get("state").unwrap().as_str(), Some("done"));
+        assert_eq!(
+            status.get("request_id").unwrap().as_str(),
+            Some("req-000001"),
+            "status must echo the correlation id"
+        );
         assert!(status.get("manifest").is_some());
         assert!(claim.events.is_closed(), "finish closes the bus");
     }
@@ -292,7 +307,7 @@ mod tests {
     #[test]
     fn cancelled_queued_jobs_never_reach_a_worker() {
         let table = JobTable::new();
-        let id = table.submit(scenario("doomed"));
+        let id = table.submit(scenario("doomed"), "req-000002".into());
         assert_eq!(table.cancel(id), Some(JobState::Queued));
         let shutdown = CancelToken::new();
         shutdown.cancel();

@@ -33,6 +33,8 @@ pub mod janitor;
 pub mod jobs;
 pub mod loadtest;
 pub mod server;
+pub mod telemetry;
+pub mod top;
 
 pub use jobs::{JobState, JobTable};
 pub use loadtest::{LoadtestConfig, LoadtestOutcome};

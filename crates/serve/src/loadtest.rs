@@ -71,6 +71,11 @@ pub struct LoadtestOutcome {
     pub executed: u64,
     /// Loadtest wall clock.
     pub wall_seconds: f64,
+    /// Daemon-side `serve.jobs.finished_total` delta — the `/metrics`
+    /// cross-check of the client-side request count.
+    pub daemon_jobs_finished: u64,
+    /// Daemon-side `serve.http.requests_total` delta over the window.
+    pub daemon_http_requests: u64,
 }
 
 /// One round-trip HTTP exchange over a fresh connection (the daemon is
@@ -110,6 +115,39 @@ pub fn round_scenario(round: usize, work_seconds: f64) -> String {
         round = round,
         seconds = seconds,
     )
+}
+
+/// Scrapes `/metrics.json` into a [`obs::MetricsRegistry`] so deltas of
+/// the daemon's own counters can cross-check the client-side tallies.
+fn registry_scrape(addr: &str) -> io::Result<obs::MetricsRegistry> {
+    let resp = exchange(addr, "GET", "/metrics.json", None)?;
+    if resp.status != 200 {
+        return Err(io::Error::other(format!("metrics.json: HTTP {}", resp.status)));
+    }
+    let text = std::str::from_utf8(&resp.body).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("metrics.json not UTF-8: {e}"))
+    })?;
+    let doc = Json::parse(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("metrics.json: {e}")))?;
+    obs::MetricsRegistry::from_json(&doc).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "metrics.json is not a registry document")
+    })
+}
+
+/// Scrapes the Prometheus text exposition and validates its syntax —
+/// an ill-formed `/metrics` page is a daemon bug the loadtest should
+/// fail loudly on, not something a scrape consumer discovers later.
+fn prometheus_check(addr: &str) -> io::Result<()> {
+    let resp = exchange(addr, "GET", "/metrics", None)?;
+    if resp.status != 200 {
+        return Err(io::Error::other(format!("metrics: HTTP {}", resp.status)));
+    }
+    let text = std::str::from_utf8(&resp.body).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("metrics not UTF-8: {e}"))
+    })?;
+    obs::prom::validate(text).map_err(|e| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("invalid /metrics exposition: {e}"))
+    })
 }
 
 fn flight_totals(addr: &str) -> io::Result<(u64, u64)> {
@@ -170,6 +208,7 @@ fn percentile_ms(sorted: &[f64], q: f64) -> f64 {
 /// fatal; only an unreachable daemon errors out.
 pub fn run(config: &LoadtestConfig) -> io::Result<LoadtestOutcome> {
     let (executed_before, coalesced_before) = flight_totals(&config.addr)?;
+    let registry_before = registry_scrape(&config.addr)?;
     let failed = Arc::new(AtomicU64::new(0));
     let t0 = Instant::now();
     let mut handles = Vec::new();
@@ -197,6 +236,16 @@ pub fn run(config: &LoadtestConfig) -> io::Result<LoadtestOutcome> {
     }
     let wall_seconds = t0.elapsed().as_secs_f64();
     let (executed_after, coalesced_after) = flight_totals(&config.addr)?;
+    prometheus_check(&config.addr)?;
+    let registry_after = registry_scrape(&config.addr)?;
+    let counter_delta = |name: &str| {
+        registry_after
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(registry_before.counter(name).unwrap_or(0))
+    };
+    let daemon_jobs_finished = counter_delta("serve.jobs.finished_total");
+    let daemon_http_requests = counter_delta("serve.http.requests_total");
 
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let total = (config.clients.max(1) * config.requests.max(1)) as u64;
@@ -229,6 +278,19 @@ pub fn run(config: &LoadtestConfig) -> io::Result<LoadtestOutcome> {
         .metrics
         .insert("serve.clients".into(), config.clients as f64);
 
+    // Cross-check: every successful client request submitted exactly
+    // one job and saw it reach `done`, so the daemon's own finished
+    // counter must cover them. A shortfall means the telemetry plane is
+    // dropping events — warn loudly (stderr, not a hard error: the last
+    // job's registry merge can land a beat after its status flips).
+    let ok_count = total - failed;
+    if daemon_jobs_finished < ok_count {
+        eprintln!(
+            "warning: daemon reported {daemon_jobs_finished} finished jobs \
+             via /metrics but clients completed {ok_count} requests"
+        );
+    }
+
     Ok(LoadtestOutcome {
         report,
         total_requests: total,
@@ -236,6 +298,8 @@ pub fn run(config: &LoadtestConfig) -> io::Result<LoadtestOutcome> {
         coalesced,
         executed,
         wall_seconds,
+        daemon_jobs_finished,
+        daemon_http_requests,
     })
 }
 

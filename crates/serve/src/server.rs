@@ -7,11 +7,24 @@
 //! | method & path           | behavior                                          |
 //! |-------------------------|---------------------------------------------------|
 //! | `GET /healthz`          | liveness + job counts + coalescing totals + last gc |
+//! | `GET /metrics`          | daemon registry, Prometheus text exposition       |
+//! | `GET /metrics.json`     | the same registry as JSON                         |
+//! | `GET /metrics/history`  | sampler ring as NDJSON (`?window=<seconds>`)      |
 //! | `POST /runs`            | submit a scenario document → `202 {"job": id}`    |
 //! | `GET /jobs`             | list all jobs                                     |
 //! | `GET /jobs/<id>`        | job state (+ run manifest once terminal)          |
 //! | `DELETE /jobs/<id>`     | cancel (cooperative; the scheduler drains)        |
 //! | `GET /jobs/<id>/events` | stream progress events as newline-delimited JSON  |
+//!
+//! ## Correlation ids
+//!
+//! Every accepted request gets a daemon-unique id (`req-000042`). For
+//! `POST /runs` the id is stored on the job, echoed in the 202 response
+//! and the job status document, stamped on every progress event, woven
+//! into the scheduler's trace-span names, and attached to every log
+//! line the request or its job emits — one grep follows a request end
+//! to end. Ids are execution metadata: they never enter cache keys or
+//! run fingerprints.
 //!
 //! ## Shared execution state
 //!
@@ -27,7 +40,8 @@
 use crate::http;
 use crate::janitor::{self, JanitorConfig, JanitorState};
 use crate::jobs::{JobState, JobTable};
-use obs::{CancelToken, Json};
+use crate::telemetry::{self, Telemetry};
+use obs::{CancelToken, Json, MetricsRegistry};
 use orchestrator::{run_scenario, FlightTable, RunOptions, Scenario, StageStatus};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -83,6 +97,8 @@ pub struct ServerConfig {
     pub shutdown: CancelToken,
     /// Print a line per lifecycle event to stdout.
     pub verbose: bool,
+    /// Cadence of the metrics sampler feeding `GET /metrics/history`.
+    pub sample_interval: Duration,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +112,7 @@ impl Default for ServerConfig {
             gc_max_bytes: 256 * 1024 * 1024,
             shutdown: CancelToken::new(),
             verbose: false,
+            sample_interval: Duration::from_secs(1),
         }
     }
 }
@@ -108,6 +125,9 @@ pub(crate) struct Shared {
     pub(crate) stage_jobs: usize,
     pub(crate) shutdown: CancelToken,
     pub(crate) janitor: JanitorState,
+    pub(crate) telemetry: Telemetry,
+    workers: usize,
+    busy_workers: AtomicUsize,
     active_connections: AtomicUsize,
     started: Instant,
     verbose: bool,
@@ -240,6 +260,9 @@ impl Server {
             stage_jobs: config.stage_jobs.max(1),
             shutdown: config.shutdown.clone(),
             janitor: JanitorState::new(),
+            telemetry: Telemetry::new(),
+            workers: config.workers.max(1),
+            busy_workers: AtomicUsize::new(0),
             active_connections: AtomicUsize::new(0),
             started: Instant::now(),
             verbose: config.verbose,
@@ -260,6 +283,13 @@ impl Server {
                     .spawn(move || worker_loop(worker_shared))?,
             );
         }
+        let sampler_shared = shared.clone();
+        let sample_interval = config.sample_interval.max(Duration::from_millis(50));
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-sampler".into())
+                .spawn(move || sampler_loop(sampler_shared, sample_interval))?,
+        );
         if let Some(interval) = config.gc_interval {
             let janitor_shared = shared.clone();
             let jc = JanitorConfig {
@@ -359,8 +389,19 @@ fn accept_loop(listener: Listener, shared: Arc<Shared>) {
 
 fn worker_loop(shared: Arc<Shared>) {
     while let Some(claim) = shared.jobs.claim(&shared.shutdown) {
+        shared.busy_workers.fetch_add(1, Ordering::AcqRel);
         if shared.verbose {
             println!("serve: job {} ({}) started", claim.id, claim.scenario.name);
+        }
+        if obs::log::enabled(obs::log::Level::Info) {
+            obs::log::info(
+                "job started",
+                &[
+                    ("job", Json::Num(claim.id as f64)),
+                    ("scenario", Json::Str(claim.scenario.name.clone())),
+                    ("request_id", Json::Str(claim.request_id.clone())),
+                ],
+            );
         }
         let opts = RunOptions {
             jobs: shared.stage_jobs,
@@ -368,6 +409,7 @@ fn worker_loop(shared: Arc<Shared>) {
             cancel: Some(claim.cancel.clone()),
             flight: Some(shared.flight.clone()),
             events: Some(claim.events.clone()),
+            request_id: Some(claim.request_id.clone()),
             ..RunOptions::default()
         };
         match run_scenario(&claim.scenario, &opts) {
@@ -394,16 +436,126 @@ fn worker_loop(shared: Arc<Shared>) {
                 if shared.verbose {
                     println!("serve: job {} {}", claim.id, state.word());
                 }
+                if obs::log::enabled(obs::log::Level::Info) {
+                    obs::log::info(
+                        "job finished",
+                        &[
+                            ("job", Json::Num(claim.id as f64)),
+                            ("state", Json::Str(state.word().to_string())),
+                            ("wall_seconds", Json::Num(summary.wall_seconds)),
+                            ("request_id", Json::Str(claim.request_id.clone())),
+                        ],
+                    );
+                }
+                // Fold the job's scheduler metrics into the daemon-wide
+                // registry: counters add across jobs (daemon CAS totals),
+                // the job histogram and throughput gauge feed /metrics.
+                shared.telemetry.with_registry(|reg| {
+                    reg.merge(&summary.metrics);
+                    reg.inc("serve.jobs.finished_total", 1);
+                    reg.inc(&format!("serve.jobs.{}_total", state.word()), 1);
+                    let (name, lo, hi, n) = telemetry::JOB_SECONDS;
+                    reg.histogram(name, lo, hi, n).record(summary.wall_seconds);
+                    let units = summary
+                        .metrics
+                        .counter("orchestrator.checkpoint.stored_units")
+                        .unwrap_or(0)
+                        + summary
+                            .metrics
+                            .counter("orchestrator.checkpoint.resumed_units")
+                            .unwrap_or(0);
+                    if summary.wall_seconds > 0.0 {
+                        reg.set_gauge(
+                            "serve.job.units_per_s",
+                            units as f64 / summary.wall_seconds,
+                        );
+                    }
+                });
                 shared.jobs.finish(claim.id, state, Some(summary.to_json()), None);
             }
             Err(e) => {
                 if shared.verbose {
                     println!("serve: job {} failed: {e}", claim.id);
                 }
+                if obs::log::enabled(obs::log::Level::Error) {
+                    obs::log::error(
+                        "job failed",
+                        &[
+                            ("job", Json::Num(claim.id as f64)),
+                            ("error", Json::Str(e.to_string())),
+                            ("request_id", Json::Str(claim.request_id.clone())),
+                        ],
+                    );
+                }
+                shared.telemetry.with_registry(|reg| {
+                    reg.inc("serve.jobs.finished_total", 1);
+                    reg.inc("serve.jobs.failed_total", 1);
+                });
                 shared
                     .jobs
                     .finish(claim.id, JobState::Failed, None, Some(e.to_string()));
             }
+        }
+        shared.busy_workers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The daemon-wide registry with live gauges overlaid: the base
+/// registry (HTTP counters + merged job metrics) plus queue depth,
+/// worker occupancy, CAS hit ratio, flight totals, janitor lifetime
+/// counters, and uptime — recomputed at scrape/sample time so every
+/// consumer (`/metrics`, `/metrics.json`, the sampler) sees one shape.
+pub(crate) fn registry_snapshot(shared: &Shared) -> MetricsRegistry {
+    let mut reg = shared.telemetry.registry_clone();
+    let (queued, running, finished) = shared.jobs.counts();
+    reg.set_gauge("serve.jobs.queued", queued as f64);
+    reg.set_gauge("serve.jobs.running", running as f64);
+    reg.set_gauge("serve.jobs.finished", finished as f64);
+    reg.set_gauge("serve.queue.depth", queued as f64);
+    let busy = shared.busy_workers.load(Ordering::Acquire);
+    reg.set_gauge("serve.workers.total", shared.workers as f64);
+    reg.set_gauge("serve.workers.busy", busy as f64);
+    reg.set_gauge(
+        "serve.workers.utilization",
+        busy as f64 / shared.workers as f64,
+    );
+    let hits = reg.counter("orchestrator.cas.hits").unwrap_or(0);
+    let misses = reg.counter("orchestrator.cas.misses").unwrap_or(0);
+    if hits + misses > 0 {
+        reg.set_gauge("serve.cas.hit_ratio", hits as f64 / (hits + misses) as f64);
+    }
+    reg.set_counter("serve.flight.executed_total", shared.flight.executed_total());
+    reg.set_counter(
+        "serve.flight.coalesced_total",
+        shared.flight.coalesced_total(),
+    );
+    let (gc_passes, gc_bytes, gc_removed) = shared.janitor.totals();
+    reg.set_counter("serve.gc.passes_total", gc_passes);
+    reg.set_counter("serve.gc.bytes_reclaimed_total", gc_bytes);
+    reg.set_counter("serve.gc.removed_total", gc_removed);
+    reg.set_gauge(
+        "serve.connections.active",
+        shared.active_connections.load(Ordering::Acquire) as f64,
+    );
+    reg.set_gauge("serve.uptime_seconds", shared.started.elapsed().as_secs_f64());
+    reg
+}
+
+/// The sampler thread: capture one registry snapshot per interval into
+/// the bounded history ring until the daemon drains.
+fn sampler_loop(shared: Arc<Shared>, interval: Duration) {
+    while !shared.shutdown.is_cancelled() {
+        let mut sample = Json::object();
+        sample.insert("ts_ms", Json::Num(telemetry::now_ms() as f64));
+        sample.insert("metrics", registry_snapshot(&shared).to_json());
+        shared.telemetry.push_sample(sample);
+        // Interruptible sleep, same dance as the janitor.
+        let wake = Instant::now() + interval;
+        while Instant::now() < wake {
+            if shared.shutdown.is_cancelled() {
+                return;
+            }
+            std::thread::sleep(POLL.min(interval));
         }
     }
 }
@@ -412,20 +564,42 @@ fn handle_connection(conn: Conn, shared: &Shared) -> io::Result<()> {
     conn.configure()?;
     let mut writer = conn.try_clone()?;
     let mut reader = BufReader::new(conn);
+    let t0 = Instant::now();
     let request = match http::read_request(&mut reader)? {
         Ok(Some(req)) => req,
         Ok(None) => return Ok(()),
         Err(bad) => {
             let mut err = Json::object();
             err.insert("error", Json::Str(bad.to_string()));
+            shared.telemetry.observe_http("?", 400, t0.elapsed().as_secs_f64());
             return http::write_response(&mut writer, 400, &err.render());
         }
     };
-    route(&request, &mut writer, shared)
+    // The correlation id: minted at accept, logged with the outcome,
+    // and (for POST /runs) stored on the job it creates.
+    let request_id = shared.telemetry.mint_request_id();
+    let result = route(&request, &mut writer, shared, &request_id);
+    let status = *result.as_ref().unwrap_or(&0);
+    shared
+        .telemetry
+        .observe_http(&request.method, status, t0.elapsed().as_secs_f64());
+    if obs::log::enabled(obs::log::Level::Debug) {
+        obs::log::debug(
+            "http request",
+            &[
+                ("method", Json::Str(request.method.clone())),
+                ("path", Json::Str(request.path.clone())),
+                ("status", Json::Num(f64::from(status))),
+                ("request_id", Json::Str(request_id)),
+            ],
+        );
+    }
+    result.map(|_| ())
 }
 
-fn respond(w: &mut impl Write, status: u16, doc: &Json) -> io::Result<()> {
-    http::write_response(w, status, &doc.render())
+fn respond(w: &mut impl Write, status: u16, doc: &Json) -> io::Result<u16> {
+    http::write_response(w, status, &doc.render())?;
+    Ok(status)
 }
 
 fn error_doc(message: &str) -> Json {
@@ -434,11 +608,36 @@ fn error_doc(message: &str) -> Json {
     o
 }
 
-fn route(req: &http::Request, w: &mut impl Write, shared: &Shared) -> io::Result<()> {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+fn route(
+    req: &http::Request,
+    w: &mut impl Write,
+    shared: &Shared,
+    request_id: &str,
+) -> io::Result<u16> {
+    // Query strings arrive verbatim in the target; split them off before
+    // segment matching (`/metrics/history?window=60`).
+    let (path, query) = req
+        .path
+        .split_once('?')
+        .unwrap_or((req.path.as_str(), ""));
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => respond(w, 200, &healthz(shared)),
-        ("POST", ["runs"]) => submit(req, w, shared),
+        ("GET", ["metrics"]) => {
+            let text = obs::prom::render(&registry_snapshot(shared));
+            http::write_response_typed(w, 200, "text/plain; version=0.0.4", &text)?;
+            Ok(200)
+        }
+        ("GET", ["metrics.json"]) => {
+            respond(w, 200, &registry_snapshot(shared).to_json())
+        }
+        ("GET", ["metrics", "history"]) => {
+            let window = telemetry::parse_window_ms(query);
+            let body = shared.telemetry.history_ndjson(window);
+            http::write_response_typed(w, 200, "application/x-ndjson", &body)?;
+            Ok(200)
+        }
+        ("POST", ["runs"]) => submit(req, w, shared, request_id),
         ("GET", ["jobs"]) => respond(w, 200, &shared.jobs.list_json()),
         ("GET", ["jobs", id]) => match parse_id(id).and_then(|id| shared.jobs.status_json(id)) {
             Some(doc) => respond(w, 200, &doc),
@@ -455,10 +654,12 @@ fn route(req: &http::Request, w: &mut impl Write, shared: &Shared) -> io::Result
         },
         ("GET", ["jobs", id, "events"]) => match parse_id(id).and_then(|id| shared.jobs.events(id))
         {
-            Some(bus) => stream_events(w, &bus, shared),
+            Some(bus) => stream_events(w, &bus, shared).map(|()| 200),
             None => respond(w, 404, &error_doc("no such job")),
         },
-        (_, ["healthz" | "runs" | "jobs", ..]) => respond(w, 405, &error_doc("method not allowed")),
+        (_, ["healthz" | "runs" | "jobs" | "metrics" | "metrics.json", ..]) => {
+            respond(w, 405, &error_doc("method not allowed"))
+        }
         _ => respond(w, 404, &error_doc("no such route")),
     }
 }
@@ -482,6 +683,28 @@ fn healthz(shared: &Shared) -> Json {
         "coalesced_total",
         Json::Num(shared.flight.coalesced_total() as f64),
     );
+    let reg = shared.telemetry.registry_clone();
+    let mut cas = Json::object();
+    let hits = reg.counter("orchestrator.cas.hits").unwrap_or(0);
+    let misses = reg.counter("orchestrator.cas.misses").unwrap_or(0);
+    cas.insert("hits", Json::Num(hits as f64));
+    cas.insert("misses", Json::Num(misses as f64));
+    cas.insert(
+        "hit_ratio",
+        if hits + misses > 0 {
+            Json::Num(hits as f64 / (hits + misses) as f64)
+        } else {
+            Json::Null
+        },
+    );
+    let busy = shared.busy_workers.load(Ordering::Acquire);
+    let mut workers = Json::object();
+    workers.insert("total", Json::Num(shared.workers as f64));
+    workers.insert("busy", Json::Num(busy as f64));
+    workers.insert(
+        "utilization",
+        Json::Num(busy as f64 / shared.workers as f64),
+    );
     let mut doc = Json::object();
     doc.insert("ok", Json::Bool(true));
     doc.insert("draining", Json::Bool(shared.shutdown.is_cancelled()));
@@ -491,11 +714,28 @@ fn healthz(shared: &Shared) -> Json {
     );
     doc.insert("jobs", jobs);
     doc.insert("flight", flight);
+    doc.insert("cas", cas);
+    doc.insert("workers", workers);
+    // Request-latency quantiles from the exposition histogram, in ms.
+    if let Some(h) = reg.get_histogram(telemetry::HTTP_SECONDS.0) {
+        if let Some((p50, p90, p99)) = h.quantile_summary() {
+            let mut latency = Json::object();
+            latency.insert("p50_ms", Json::Num(p50 * 1e3));
+            latency.insert("p90_ms", Json::Num(p90 * 1e3));
+            latency.insert("p99_ms", Json::Num(p99 * 1e3));
+            doc.insert("http_latency", latency);
+        }
+    }
     doc.insert("gc", shared.janitor.to_json());
     doc
 }
 
-fn submit(req: &http::Request, w: &mut impl Write, shared: &Shared) -> io::Result<()> {
+fn submit(
+    req: &http::Request,
+    w: &mut impl Write,
+    shared: &Shared,
+    request_id: &str,
+) -> io::Result<u16> {
     if shared.shutdown.is_cancelled() {
         return respond(w, 503, &error_doc("draining"));
     }
@@ -512,8 +752,9 @@ fn submit(req: &http::Request, w: &mut impl Write, shared: &Shared) -> io::Resul
     }
     let mut doc = Json::object();
     doc.insert("scenario", Json::Str(scenario.name.clone()));
-    let id = shared.jobs.submit(scenario);
+    let id = shared.jobs.submit(scenario, request_id.to_string());
     doc.insert("job", Json::Num(id as f64));
+    doc.insert("request_id", Json::Str(request_id.to_string()));
     respond(w, 202, &doc)
 }
 

@@ -1,0 +1,206 @@
+//! The `pv3t1d top` terminal dashboard: polls a running daemon's
+//! `/healthz`, `/metrics.json`, and `/jobs` endpoints and redraws a
+//! plain-ANSI status screen — jobs, worker occupancy, throughput,
+//! request-latency quantiles, CAS and GC state. `--once` prints a
+//! single frame without clearing the screen, for scripts and CI.
+
+use crate::loadtest::exchange;
+use obs::Json;
+use std::io::{self, Write};
+use std::time::Duration;
+
+/// Dashboard parameters, CLI-shaped.
+#[derive(Debug, Clone)]
+pub struct TopConfig {
+    /// Daemon TCP address (`host:port`).
+    pub addr: String,
+    /// Redraw cadence.
+    pub interval: Duration,
+    /// Print one frame and exit (no screen clearing, script-friendly).
+    pub once: bool,
+}
+
+fn fetch_json(addr: &str, path: &str) -> io::Result<Json> {
+    let resp = exchange(addr, "GET", path, None)?;
+    if resp.status != 200 {
+        return Err(io::Error::other(format!("{path}: HTTP {}", resp.status)));
+    }
+    let text = std::str::from_utf8(&resp.body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path}: {e}")))?;
+    Json::parse(text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path}: {e}")))
+}
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// Renders one dashboard frame from the three scraped documents.
+/// Separated from the fetch loop so tests can feed canned responses.
+pub fn render_frame(healthz: &Json, metrics: &Json, jobs: &Json) -> String {
+    let mut out = String::new();
+    let uptime = num(healthz, &["uptime_seconds"]);
+    let draining = healthz
+        .get("draining")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    out.push_str(&format!(
+        "pv3t1d top — uptime {uptime:.0}s{}\n\n",
+        if draining { "  [DRAINING]" } else { "" }
+    ));
+
+    out.push_str(&format!(
+        "jobs     queued {:>4}  running {:>4}  finished {:>4}\n",
+        num(healthz, &["jobs", "queued"]),
+        num(healthz, &["jobs", "running"]),
+        num(healthz, &["jobs", "finished"]),
+    ));
+    out.push_str(&format!(
+        "workers  busy {:>4} / {:>2}  ({:.0}% utilization)\n",
+        num(healthz, &["workers", "busy"]),
+        num(healthz, &["workers", "total"]),
+        num(healthz, &["workers", "utilization"]) * 100.0,
+    ));
+    out.push_str(&format!(
+        "http     p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
+        num(healthz, &["http_latency", "p50_ms"]),
+        num(healthz, &["http_latency", "p90_ms"]),
+        num(healthz, &["http_latency", "p99_ms"]),
+    ));
+    let hits = num(healthz, &["cas", "hits"]);
+    let misses = num(healthz, &["cas", "misses"]);
+    out.push_str(&format!(
+        "cas      hits {hits:.0}  misses {misses:.0}  hit-ratio {}\n",
+        match healthz.get("cas").and_then(|c| c.get("hit_ratio")).and_then(Json::as_f64) {
+            Some(r) => format!("{:.1}%", r * 100.0),
+            None => "-".to_string(),
+        },
+    ));
+    out.push_str(&format!(
+        "flight   executed {:.0}  coalesced {:.0}\n",
+        num(healthz, &["flight", "executed_total"]),
+        num(healthz, &["flight", "coalesced_total"]),
+    ));
+    out.push_str(&format!(
+        "gc       passes {:.0}  bytes reclaimed {:.0}\n",
+        num(metrics, &["counters", "serve.gc.passes_total"]),
+        num(metrics, &["counters", "serve.gc.bytes_reclaimed_total"]),
+    ));
+    out.push_str(&format!(
+        "rate     {:.2} campaign units/s (last job)  requests {:.0}\n",
+        num(metrics, &["gauges", "serve.job.units_per_s"]),
+        num(metrics, &["counters", "serve.http.requests_total"]),
+    ));
+
+    if let Some(rows) = jobs.get("jobs").and_then(Json::as_arr) {
+        out.push('\n');
+        out.push_str("  job  state      scenario\n");
+        // Newest first; bound the table so a long-lived daemon's history
+        // doesn't scroll the summary off-screen.
+        const MAX_ROWS: usize = 12;
+        for row in rows.iter().rev().take(MAX_ROWS) {
+            out.push_str(&format!(
+                "{:>5}  {:<9}  {}\n",
+                num(row, &["job"]),
+                row.get("state").and_then(Json::as_str).unwrap_or("?"),
+                row.get("scenario").and_then(Json::as_str).unwrap_or("?"),
+            ));
+        }
+        if rows.len() > MAX_ROWS {
+            out.push_str(&format!("  … {} older jobs\n", rows.len() - MAX_ROWS));
+        }
+    }
+    out
+}
+
+/// Runs the dashboard until interrupted (or exactly one frame with
+/// `once`). Returns the first scrape error — a dead daemon exits the
+/// dashboard rather than spinning on a blank screen.
+pub fn run(config: &TopConfig) -> io::Result<()> {
+    let stdout = io::stdout();
+    loop {
+        let healthz = fetch_json(&config.addr, "/healthz")?;
+        let metrics = fetch_json(&config.addr, "/metrics.json")?;
+        let jobs = fetch_json(&config.addr, "/jobs")?;
+        let frame = render_frame(&healthz, &metrics, &jobs);
+        let mut out = stdout.lock();
+        if config.once {
+            out.write_all(frame.as_bytes())?;
+            out.flush()?;
+            return Ok(());
+        }
+        // Plain ANSI redraw: clear screen, home cursor, draw.
+        write!(out, "\x1b[2J\x1b[H{frame}")?;
+        out.flush()?;
+        drop(out);
+        std::thread::sleep(config.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_renders_all_sections_from_canned_documents() {
+        let healthz = Json::parse(
+            r#"{"ok": true, "draining": false, "uptime_seconds": 12.5,
+                "jobs": {"queued": 1, "running": 2, "finished": 3},
+                "workers": {"total": 4, "busy": 2, "utilization": 0.5},
+                "http_latency": {"p50_ms": 0.4, "p90_ms": 1.2, "p99_ms": 3.0},
+                "cas": {"hits": 10, "misses": 5, "hit_ratio": 0.6666},
+                "flight": {"executed_total": 7, "coalesced_total": 2},
+                "gc": null}"#,
+        )
+        .unwrap();
+        let metrics = Json::parse(
+            r#"{"counters": {"serve.gc.passes_total": 3,
+                             "serve.gc.bytes_reclaimed_total": 4096,
+                             "serve.http.requests_total": 42},
+                "gauges": {"serve.job.units_per_s": 123.4},
+                "histograms": {}}"#,
+        )
+        .unwrap();
+        let jobs = Json::parse(
+            r#"{"jobs": [{"job": 1, "scenario": "a", "state": "done"},
+                          {"job": 2, "scenario": "b", "state": "running"}]}"#,
+        )
+        .unwrap();
+        let frame = render_frame(&healthz, &metrics, &jobs);
+        for needle in [
+            "uptime 12s",
+            "queued    1",
+            "running    2",
+            "busy    2 /  4",
+            "50% utilization",
+            "p50 0.40 ms",
+            "p99 3.00 ms",
+            "hits 10",
+            "hit-ratio 66.7%",
+            "coalesced 2",
+            "passes 3",
+            "bytes reclaimed 4096",
+            "123.40 campaign units/s",
+            "requests 42",
+            "running    b",
+            "done       a",
+        ] {
+            assert!(frame.contains(needle), "missing {needle:?} in:\n{frame}");
+        }
+        assert!(!frame.contains('\x1b'), "the frame itself is ANSI-free");
+    }
+
+    #[test]
+    fn frame_tolerates_sparse_documents() {
+        let frame = render_frame(&Json::object(), &Json::object(), &Json::object());
+        assert!(frame.contains("pv3t1d top"));
+        assert!(frame.contains("hit-ratio -"));
+    }
+}

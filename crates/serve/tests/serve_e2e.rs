@@ -126,6 +126,16 @@ fn concurrent_identical_submissions_execute_each_stage_once() {
         "the first stage alone has five followers: {health:?}"
     );
 
+    // The telemetry plane folds CAS traffic and pool occupancy into the
+    // same health document.
+    let cas = health.get("cas").expect("healthz carries cas totals");
+    assert!(cas.get("hits").and_then(Json::as_u64).is_some(), "{health:?}");
+    assert!(cas.get("misses").and_then(Json::as_u64).is_some(), "{health:?}");
+    let workers = health.get("workers").expect("healthz carries the pool");
+    assert_eq!(workers.get("total").unwrap().as_u64(), Some(6), "{health:?}");
+    let util = workers.get("utilization").unwrap().as_f64().unwrap();
+    assert!((0.0..=1.0).contains(&util), "utilization in [0,1]: {health:?}");
+
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
