@@ -2,7 +2,7 @@
 //! derived electrical quantities the models use.
 
 use bench_harness::banner;
-use vlsi::tech::{thermal_voltage, TechNode};
+use vlsi::tech::{OperatingPoint, TechNode};
 use vlsi::wire;
 
 fn main() {
@@ -50,6 +50,6 @@ fn main() {
     println!();
     println!(
         "simulation temperature: 80 C (thermal voltage {:.1} mV)",
-        thermal_voltage().mv()
+        OperatingPoint::nominal(TechNode::N32).thermal_voltage().mv()
     );
 }

@@ -202,10 +202,8 @@ pub fn validate(text: &str) -> Result<(), String> {
                         return fail(format!("duplicate # TYPE for {name}"));
                     }
                 }
-                Some("HELP") => {
-                    if parts.next().is_none() {
-                        return fail("# HELP without a metric name".into());
-                    }
+                Some("HELP") if parts.next().is_none() => {
+                    return fail("# HELP without a metric name".into());
                 }
                 _ => {} // free-form comment
             }

@@ -663,6 +663,30 @@ mod tests {
     }
 
     #[test]
+    fn single_bucket_quantiles_are_finite_and_bounded() {
+        // The degenerate shape a latency endpoint can end up with: one
+        // bucket, few observations. Every quantile must be a finite value
+        // inside the bounds — never NaN — and the empty single-bucket
+        // case must stay an explicit None.
+        let empty = FixedHistogram::new(0.0, 1.0, 1);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile_summary(), None);
+
+        let mut h = FixedHistogram::new(0.0, 1.0, 1);
+        h.record(0.25);
+        let (p50, p90, p99) = h.quantile_summary().unwrap();
+        for q in [p50, p90, p99] {
+            assert!(q.is_finite(), "quantile {q}");
+            assert!((0.0..=1.0).contains(&q), "quantile {q} out of bounds");
+        }
+        assert!(p50 <= p90 && p90 <= p99);
+
+        // Single bucket with all mass in overflow: clamps, still finite.
+        let h = FixedHistogram::from_buckets(0.0, 1.0, vec![0], 0, 3, 9.0);
+        assert_eq!(h.quantile_summary(), Some((1.0, 1.0, 1.0)));
+    }
+
+    #[test]
     fn histogram_merge_requires_same_shape() {
         let mut a = FixedHistogram::new(0.0, 4.0, 4);
         let mut b = FixedHistogram::new(0.0, 4.0, 4);

@@ -632,7 +632,10 @@ fn route(
             respond(w, 200, &registry_snapshot(shared).to_json())
         }
         ("GET", ["metrics", "history"]) => {
-            let window = telemetry::parse_window_ms(query);
+            let window = match telemetry::parse_window_ms(query) {
+                Ok(window) => window,
+                Err(msg) => return respond(w, 400, &error_doc(&msg)),
+            };
             let body = shared.telemetry.history_ndjson(window);
             http::write_response_typed(w, 200, "application/x-ndjson", &body)?;
             Ok(200)
@@ -717,15 +720,21 @@ fn healthz(shared: &Shared) -> Json {
     doc.insert("cas", cas);
     doc.insert("workers", workers);
     // Request-latency quantiles from the exposition histogram, in ms.
-    if let Some(h) = reg.get_histogram(telemetry::HTTP_SECONDS.0) {
-        if let Some((p50, p90, p99)) = h.quantile_summary() {
+    // An empty histogram has no quantiles ([`FixedHistogram::quantile`]
+    // returns `None`), and the key is emitted as an explicit `null`
+    // rather than omitted — clients render "n/a" instead of a garbage
+    // 0.00 and never need to guess whether the field was forgotten.
+    let latency = reg
+        .get_histogram(telemetry::HTTP_SECONDS.0)
+        .and_then(|h| h.quantile_summary())
+        .map(|(p50, p90, p99)| {
             let mut latency = Json::object();
             latency.insert("p50_ms", Json::Num(p50 * 1e3));
             latency.insert("p90_ms", Json::Num(p90 * 1e3));
             latency.insert("p99_ms", Json::Num(p99 * 1e3));
-            doc.insert("http_latency", latency);
-        }
-    }
+            latency
+        });
+    doc.insert("http_latency", latency.unwrap_or(Json::Null));
     doc.insert("gc", shared.janitor.to_json());
     doc
 }

@@ -128,19 +128,27 @@ impl Telemetry {
 }
 
 /// Parses the `window=<seconds>` query parameter of
-/// `GET /metrics/history`. Returns milliseconds; `None` when absent or
-/// unparsable (serve the whole ring).
-pub fn parse_window_ms(query: &str) -> Option<u64> {
+/// `GET /metrics/history`. Returns milliseconds; `Ok(None)` when the
+/// parameter is absent (serve the whole ring). A present-but-broken
+/// value — non-numeric, zero, negative, or non-finite — is an `Err`
+/// with a client-facing message, *not* a silent fallback: a typo'd
+/// `window=6O` must come back as HTTP 400, never as the entire ring
+/// pretending the filter applied.
+pub fn parse_window_ms(query: &str) -> Result<Option<u64>, String> {
     for pair in query.split('&') {
         if let Some(value) = pair.strip_prefix("window=") {
-            if let Ok(seconds) = value.parse::<f64>() {
-                if seconds.is_finite() && seconds >= 0.0 {
-                    return Some((seconds * 1000.0) as u64);
+            return match value.parse::<f64>() {
+                Ok(seconds) if seconds.is_finite() && seconds > 0.0 => {
+                    Ok(Some((seconds * 1000.0) as u64))
                 }
-            }
+                _ => Err(format!(
+                    "query parameter window={value:?} must be a positive \
+                     number of seconds"
+                )),
+            };
         }
     }
-    None
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -191,11 +199,17 @@ mod tests {
 
     #[test]
     fn window_parsing() {
-        assert_eq!(parse_window_ms("window=60"), Some(60_000));
-        assert_eq!(parse_window_ms("window=1.5"), Some(1_500));
-        assert_eq!(parse_window_ms("other=1&window=2"), Some(2_000));
-        assert_eq!(parse_window_ms(""), None);
-        assert_eq!(parse_window_ms("window=nope"), None);
-        assert_eq!(parse_window_ms("window=-4"), None);
+        assert_eq!(parse_window_ms("window=60"), Ok(Some(60_000)));
+        assert_eq!(parse_window_ms("window=1.5"), Ok(Some(1_500)));
+        assert_eq!(parse_window_ms("other=1&window=2"), Ok(Some(2_000)));
+        // Absent → the whole ring, not an error.
+        assert_eq!(parse_window_ms(""), Ok(None));
+        assert_eq!(parse_window_ms("other=1"), Ok(None));
+        // Present but broken → an explicit error, never a silent
+        // whole-ring fallback.
+        for bad in ["window=nope", "window=-4", "window=0", "window=nan", "window=inf", "window="] {
+            let err = parse_window_ms(bad).unwrap_err();
+            assert!(err.contains("window"), "{bad}: {err}");
+        }
     }
 }

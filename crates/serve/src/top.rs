@@ -68,11 +68,23 @@ pub fn render_frame(healthz: &Json, metrics: &Json, jobs: &Json) -> String {
         num(healthz, &["workers", "total"]),
         num(healthz, &["workers", "utilization"]) * 100.0,
     ));
+    // A daemon that has served no requests yet reports `http_latency:
+    // null` — render that as "n/a", not as a fabricated 0.00 ms.
+    let latency_ms = |key: &str| {
+        match healthz
+            .get("http_latency")
+            .and_then(|l| l.get(key))
+            .and_then(Json::as_f64)
+        {
+            Some(ms) => format!("{ms:.2} ms"),
+            None => "n/a".to_string(),
+        }
+    };
     out.push_str(&format!(
-        "http     p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms\n",
-        num(healthz, &["http_latency", "p50_ms"]),
-        num(healthz, &["http_latency", "p90_ms"]),
-        num(healthz, &["http_latency", "p99_ms"]),
+        "http     p50 {}  p90 {}  p99 {}\n",
+        latency_ms("p50_ms"),
+        latency_ms("p90_ms"),
+        latency_ms("p99_ms"),
     ));
     let hits = num(healthz, &["cas", "hits"]);
     let misses = num(healthz, &["cas", "misses"]);
@@ -202,5 +214,17 @@ mod tests {
         let frame = render_frame(&Json::object(), &Json::object(), &Json::object());
         assert!(frame.contains("pv3t1d top"));
         assert!(frame.contains("hit-ratio -"));
+        // No latency data → "n/a", never a fabricated "0.00 ms".
+        assert!(frame.contains("p50 n/a"), "{frame}");
+        assert!(!frame.contains("p50 0.00 ms"), "{frame}");
+    }
+
+    #[test]
+    fn frame_renders_null_latency_as_not_available() {
+        // The shape a fresh daemon actually reports: the key present but
+        // explicitly null (empty request-latency histogram).
+        let healthz = Json::parse(r#"{"ok": true, "http_latency": null}"#).unwrap();
+        let frame = render_frame(&healthz, &Json::object(), &Json::object());
+        assert!(frame.contains("p50 n/a  p90 n/a  p99 n/a"), "{frame}");
     }
 }

@@ -182,6 +182,11 @@ fn cli_usage_errors_exit_two() {
         &["run", "x.json", "--jobs", "not_a_number"][..],
         &["serve", "--listen"][..],
         &["loadtest", "--clients", "zero"][..],
+        // A dashboard cadence of zero (or garbage, or negative) is a
+        // usage error, caught before any connection attempt.
+        &["top", "--interval-secs", "0"][..],
+        &["top", "--interval-secs", "-1"][..],
+        &["top", "--interval-secs", "nope"][..],
     ] {
         let out = pv3t1d().args(args).output().unwrap();
         assert_eq!(out.status.code(), Some(2), "{args:?} → {out:?}");

@@ -119,12 +119,19 @@ fn metrics_exposition_history_and_healthz_cover_the_job_lifecycle() {
         let snap = sample.get("metrics").expect("sample carries a registry");
         assert!(obs::MetricsRegistry::from_json(snap).is_some(), "{snap:?}");
     }
-    // A zero-width window filters everything out (boundary behavior).
-    let none = String::from_utf8(get(&addr, "/metrics/history?window=0").body).unwrap();
-    assert!(
-        none.lines().filter(|l| !l.trim().is_empty()).count() <= samples.len(),
-        "window filter must not invent samples"
-    );
+    // A broken window parameter is an HTTP 400 with a structured error,
+    // never a silent whole-ring fallback: zero, negative, and
+    // non-numeric values are all rejected.
+    for bad in ["nope", "0", "-4"] {
+        let resp = exchange(&addr, "GET", &format!("/metrics/history?window={bad}"), None)
+            .unwrap();
+        assert_eq!(resp.status, 400, "window={bad} must be rejected");
+        let err = parse_body(&resp);
+        assert!(
+            err.get("error").and_then(Json::as_str).is_some_and(|e| e.contains("window")),
+            "window={bad} error names the parameter: {err:?}"
+        );
+    }
 
     // Satellite: /healthz folds in CAS totals and pool occupancy.
     let health = parse_body(&get(&addr, "/healthz"));
@@ -213,7 +220,7 @@ fn request_id_correlates_api_trace_and_logs_with_identical_fingerprints() {
         "manifest execution section records the id"
     );
     assert!(
-        manifest.get("results").map_or(true, |r| !r.render().contains(&rid)),
+        manifest.get("results").is_none_or(|r| !r.render().contains(&rid)),
         "the id must never leak into fingerprinted results"
     );
     server.shutdown();

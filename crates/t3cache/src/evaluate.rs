@@ -13,7 +13,7 @@ use uarch::sim::{simulate_warmed_with, SimResult};
 use uarch::MachineConfig;
 use vlsi::power::MemKind;
 use vlsi::stats::harmonic_mean;
-use vlsi::tech::TechNode;
+use vlsi::tech::{OperatingPoint, TechNode};
 use vlsi::units::{Power, Time};
 use std::sync::OnceLock;
 use workloads::{RecordedTrace, SpecBenchmark};
@@ -33,6 +33,11 @@ pub struct EvalConfig {
     pub benchmarks: Vec<SpecBenchmark>,
     /// Machine configuration (default: Table 2; override for ablations).
     pub machine: MachineConfig,
+    /// DVFS operating point, or `None` for the node's nominal corner.
+    /// Stored unresolved so overriding `node` alone (the common ablation
+    /// pattern) cannot leave a stale nominal point from another node
+    /// behind; resolve through [`EvalConfig::op`].
+    pub operating_point: Option<OperatingPoint>,
 }
 
 impl Default for EvalConfig {
@@ -44,6 +49,7 @@ impl Default for EvalConfig {
             seed: 7,
             benchmarks: SpecBenchmark::ALL.to_vec(),
             machine: MachineConfig::TABLE2,
+            operating_point: None,
         }
     }
 }
@@ -56,6 +62,15 @@ impl EvalConfig {
             warmup: 25_000,
             ..Self::default()
         }
+    }
+
+    /// The resolved operating point: the explicit one if set, else the
+    /// node's nominal corner (whose clock is bit-identical to
+    /// `node.chip_frequency()` — the fixed corner the pipeline assumed
+    /// before DVFS existed).
+    pub fn op(&self) -> OperatingPoint {
+        self.operating_point
+            .unwrap_or_else(|| OperatingPoint::nominal(self.node))
     }
 }
 
@@ -75,6 +90,9 @@ pub struct BenchRun {
 pub struct SuiteResult {
     /// Technology node the suite ran at.
     pub node: TechNode,
+    /// Operating point the suite ran at (nominal unless the config set a
+    /// DVFS point).
+    pub op: OperatingPoint,
     /// Per-benchmark runs.
     pub runs: Vec<BenchRun>,
 }
@@ -90,16 +108,19 @@ impl SuiteResult {
         harmonic_mean(&self.per_bench_ipc())
     }
 
-    /// Harmonic-mean BIPS at the node's clock scaled by `freq_mult`
+    /// Harmonic-mean BIPS at the suite's clock scaled by `freq_mult`
     /// (1.0 for 3T1D and ideal designs; the 6T multiplier otherwise).
+    /// Uses the operating point's frequency, which at the nominal point is
+    /// the node clock the paper assumes.
     pub fn hm_bips(&self, freq_mult: f64) -> f64 {
-        self.hm_ipc() * self.node.chip_frequency().ghz() * freq_mult
+        self.hm_ipc() * self.op.freq.ghz() * freq_mult
     }
 
-    /// Total simulated wall-clock time across the suite.
+    /// Total simulated wall-clock time across the suite, at the operating
+    /// point's clock period.
     pub fn total_time(&self) -> Time {
         let cycles: u64 = self.runs.iter().map(|r| r.sim.cycles).sum();
-        self.node.clock_period() * cycles as f64
+        self.op.clock_period() * cycles as f64
     }
 
     /// Mean dynamic power over the whole suite for a memory kind.
@@ -255,6 +276,7 @@ impl Evaluator {
             .collect();
         SuiteResult {
             node: self.cfg.node,
+            op: self.cfg.op(),
             runs,
         }
     }
@@ -515,6 +537,43 @@ mod tests {
         let suite = e.run_scheme(chip.retention_profile(), Scheme::rsp_fifo(), 4);
         assert_eq!(perf, suite.normalized_performance(&ideal, 1.0));
         assert_eq!(power, suite.normalized_dynamic_power(&ideal, MemKind::Dram3t1d));
+    }
+
+    #[test]
+    fn nominal_operating_point_reproduces_the_fixed_corner() {
+        let e = quick_eval();
+        let implicit = e.run_ideal(4);
+        let mut cfg = e.config().clone();
+        cfg.operating_point = Some(OperatingPoint::nominal(cfg.node));
+        let explicit = Evaluator::new(cfg).run_ideal(4);
+        // The old fixed-corner math (node clock everywhere) and the
+        // explicit nominal point must agree bit-for-bit.
+        assert_eq!(implicit.hm_bips(1.0), explicit.hm_bips(1.0));
+        assert_eq!(implicit.total_time(), explicit.total_time());
+        assert_eq!(
+            implicit.mean_dynamic_power(MemKind::Sram6t).value(),
+            explicit.mean_dynamic_power(MemKind::Sram6t).value()
+        );
+    }
+
+    #[test]
+    fn scaled_operating_point_changes_bips_and_time() {
+        let e = quick_eval();
+        let mut cfg = e.config().clone();
+        let half = vlsi::units::Frequency::from_ghz(cfg.node.chip_frequency().ghz() / 2.0);
+        cfg.operating_point = Some(OperatingPoint::nominal(cfg.node).with_freq(half));
+        let slow = Evaluator::new(cfg).run_suite(|| {
+            DataCache::new(
+                CacheConfig::paper(Scheme::default()),
+                RetentionProfile::Infinite,
+            )
+        });
+        let fast = e.run_ideal(4);
+        // Same instruction streams, so IPC matches; BIPS halves and the
+        // simulated wall-clock doubles at half frequency.
+        assert_eq!(slow.hm_ipc(), fast.hm_ipc());
+        assert!((slow.hm_bips(1.0) - fast.hm_bips(1.0) / 2.0).abs() < 1e-9);
+        assert!((slow.total_time().value() - 2.0 * fast.total_time().value()).abs() < 1e-15);
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::calib::{
     self, BOOST_GAIN, LAMBDA_RETENTION, RETENTION_LEAK_INSENSITIVE_FRAC, RETENTION_LOG_MARGIN,
     WRITE_BODY_FACTOR,
 };
-use crate::tech::{thermal_voltage, TechNode};
+use crate::tech::{OperatingPoint, TechNode};
 use crate::units::{Time, Voltage};
 use crate::variation::DeviceDeviation;
 use std::sync::LazyLock;
@@ -57,7 +57,11 @@ pub fn stored_one_voltage(node: TechNode, dev_t1: DeviceDeviation) -> Voltage {
 /// sensitivity.
 pub fn decay_tau(node: TechNode, dev_t1: DeviceDeviation) -> Time {
     let tau0 = Time::new(calib::nominal_retention(node).value() / RETENTION_LOG_MARGIN);
-    let nvt = calib::RETENTION_SLOPE_IDEALITY * thermal_voltage().volts();
+    // The slope is calibrated at the paper's worst-case test temperature;
+    // operating temperature enters retention only through the Arrhenius
+    // factor ([`retention_temperature_factor`]), never the slope.
+    let nvt = calib::RETENTION_SLOPE_IDEALITY
+        * OperatingPoint::nominal(node).thermal_voltage().volts();
     let x = -dev_t1.vth_total(node).volts() / nvt - LAMBDA_RETENTION * dev_t1.dl_frac;
     let subthreshold_mult = x.clamp(-30.0, 30.0).exp();
     let rho = RETENTION_LEAK_INSENSITIVE_FRAC;
@@ -181,7 +185,9 @@ impl RetentionSolver {
             inv_vth_nom: 1.0 / vth_nom,
             ln_vmin_nom: vmin_nom.ln(),
             tau0: calib::nominal_retention(node).value() / RETENTION_LOG_MARGIN,
-            nvt: calib::RETENTION_SLOPE_IDEALITY * thermal_voltage().volts(),
+            // Pinned at the 80 °C calibration anchor (see `decay_tau`).
+            nvt: calib::RETENTION_SLOPE_IDEALITY
+                * OperatingPoint::nominal(node).thermal_voltage().volts(),
             rho: RETENTION_LEAK_INSENSITIVE_FRAC,
         }
     }
@@ -320,6 +326,27 @@ pub fn retention_vdd_factor(node: TechNode, vdd: Voltage) -> f64 {
         return 0.0;
     }
     (v0 / vmin_nom).ln() / RETENTION_LOG_MARGIN
+}
+
+/// Combined retention multiplier for running at `op` instead of the
+/// node's nominal corner: the Arrhenius temperature factor times the
+/// supply-margin factor.
+///
+/// The factor is **exactly 1.0 at the nominal corner**: the temperature
+/// term is `exp(0.0)` at 80 °C, and the supply term is special-cased to
+/// 1.0 when `op.vdd` equals the node rail — the analytic
+/// [`retention_vdd_factor`] only lands within ~1e-9 of unity there
+/// (`ln(exp(m))/m` round-trips inexactly), which would silently break the
+/// bit-identity of every pinned golden. Since IEEE `x * 1.0 == x` for
+/// finite `x`, callers can multiply unconditionally in hot loops.
+pub fn op_retention_scale(node: TechNode, op: OperatingPoint) -> f64 {
+    let temp = retention_temperature_factor(op.temp_c);
+    let vdd = if op.vdd == node.vdd() {
+        1.0
+    } else {
+        retention_vdd_factor(node, op.vdd)
+    };
+    temp * vdd
 }
 
 /// [`retention_time`] at an arbitrary die temperature (80 °C = the
@@ -538,6 +565,36 @@ mod tests {
         assert!(retention_vdd_factor(node, Voltage::new(1.1)) > 1.0);
         // Below the usable floor, retention collapses to zero.
         assert_eq!(retention_vdd_factor(node, Voltage::new(0.70)), 0.0);
+    }
+
+    #[test]
+    fn op_retention_scale_is_exactly_unity_at_nominal() {
+        // Bit-exact unity, not approximately: the campaign hot loops
+        // multiply by this factor unconditionally, so any deviation at
+        // the nominal corner would shift every pinned golden.
+        for node in TechNode::ALL {
+            assert_eq!(op_retention_scale(node, OperatingPoint::nominal(node)), 1.0);
+        }
+    }
+
+    #[test]
+    fn op_retention_scale_composes_both_axes() {
+        let node = TechNode::N32;
+        let nominal = OperatingPoint::nominal(node);
+        let low_vdd = nominal.with_vdd(Voltage::new(0.9));
+        let cool = nominal.with_temp_c(50.0);
+        assert!((op_retention_scale(node, low_vdd)
+            - retention_vdd_factor(node, Voltage::new(0.9)))
+        .abs()
+            < 1e-15);
+        assert!((op_retention_scale(node, cool) - retention_temperature_factor(50.0)).abs()
+            < 1e-15);
+        let both = op_retention_scale(node, low_vdd.with_temp_c(50.0));
+        let product =
+            retention_vdd_factor(node, Voltage::new(0.9)) * retention_temperature_factor(50.0);
+        assert!((both - product).abs() / product < 1e-12);
+        // A collapsed rail zeroes retention regardless of temperature.
+        assert_eq!(op_retention_scale(node, nominal.with_vdd(Voltage::new(0.70))), 0.0);
     }
 
     #[test]

@@ -208,6 +208,35 @@ impl Chip {
         self.sample_line_retentions(|dl, dvth1, dvth2| solver.retention(dl, dvth1, dvth2))
     }
 
+    /// Per-line retention times under an arbitrary cell technology at its
+    /// operating point, through the SoA [`batch`] kernels. Never cached —
+    /// sweep stages evaluate many `(technology, operating point)` pairs per
+    /// chip, so the caller owns any memoization. For the 3T1D technology at
+    /// the nominal operating point this is bit-identical to
+    /// [`Chip::line_retentions`].
+    pub fn line_retentions_tech(&self, tech: &dyn crate::celltech::CellTechnology) -> Vec<Time> {
+        batch::line_retentions_with(self, tech)
+    }
+
+    /// The scalar reference for [`Chip::line_retentions_tech`]: the same
+    /// stream contract, cell-at-a-time through the technology's scalar
+    /// solve, with the per-line [`line_scale`] applied after the fold.
+    /// Never cached; the property suite pins the batch product against it.
+    ///
+    /// [`line_scale`]: crate::celltech::CellTechnology::line_scale
+    pub fn line_retentions_tech_scalar(
+        &self,
+        tech: &dyn crate::celltech::CellTechnology,
+    ) -> Vec<Time> {
+        let lines = self.layout.lines();
+        let raw =
+            self.sample_line_retentions(|dl, dvth1, dvth2| tech.retention(dl, dvth1, dvth2));
+        raw.into_iter()
+            .enumerate()
+            .map(|(line, t)| t * tech.line_scale(line as u32, lines))
+            .collect()
+    }
+
     /// The exact reference path: every cell solved with
     /// [`cell3t1d::retention_time`], never cached. Consumes the RNG stream
     /// draw-for-draw like the fast path; the test-suite pins the two
@@ -426,7 +455,8 @@ impl Chip {
         cell_leak: impl Fn(DeviceDeviation) -> Power,
     ) -> Power {
         let sigma_vth = self.params.sigma_vth(self.node).volts() * sigma_scale;
-        let nvt = crate::transistor::N_SUBTHRESHOLD * crate::tech::thermal_voltage().volts();
+        let nvt = crate::transistor::N_SUBTHRESHOLD
+            * crate::tech::OperatingPoint::nominal(self.node).thermal_voltage().volts();
         // E[exp(−ΔVth/nvT)] over the random-dopant Gaussian.
         let random_mean_mult = ((sigma_vth / nvt).powi(2) / 2.0).exp();
         let cells_per_subarray = self.layout.total_cells() / self.layout.subarrays as u64;

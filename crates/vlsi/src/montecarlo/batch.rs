@@ -34,6 +34,7 @@
 use super::{Chip, WordRetentionMap, RETENTION_PURPOSE, WORD_RETENTION_PURPOSE};
 use crate::array::ArrayLayout;
 use crate::cell3t1d::RetentionSolver;
+use crate::celltech::CellTechnology;
 use crate::math::{fill_standard_normals, sample_standard_normal};
 use crate::quadtree::QuadTreeField;
 use crate::units::Time;
@@ -121,11 +122,45 @@ pub fn dl_plane(chip: &Chip) -> Vec<f64> {
 /// per-line minimum retention, bit-identical to
 /// [`Chip::line_retentions_scalar`] including RNG stream consumption.
 pub fn line_retentions(chip: &Chip) -> Vec<Time> {
+    let solver = RetentionSolver::new(chip.node);
+    line_retentions_kernel(
+        chip,
+        |dl, d1, d2, out| solver.retention_slice(dl, d1, d2, out),
+        |_line| 1.0,
+    )
+}
+
+/// [`line_retentions`] for an arbitrary [`CellTechnology`]: the same RNG
+/// streams, deviation planes, min-fold, and dead-line rewind, with the
+/// technology's slice kernel in place of the 3T1D solver and its
+/// [`line_scale`] applied after the fold.
+///
+/// For the 3T1D technology at the nominal operating point this is
+/// bit-identical to [`line_retentions`] (the retention scale and line
+/// scale are both exactly 1.0, and IEEE `x * 1.0 == x`).
+///
+/// [`line_scale`]: CellTechnology::line_scale
+pub fn line_retentions_with(chip: &Chip, tech: &dyn CellTechnology) -> Vec<Time> {
+    let lines = chip.layout.lines();
+    line_retentions_kernel(
+        chip,
+        |dl, d1, d2, out| tech.retention_slice(dl, d1, d2, out),
+        |line| tech.line_scale(line, lines),
+    )
+}
+
+/// The shared SoA line-retention kernel: `solve` fills per-cell retentions
+/// for one line's planes, `line_scale` multiplies the folded per-line
+/// minimum (1.0 for the baseline path — bit-identical by IEEE identity).
+fn line_retentions_kernel(
+    chip: &Chip,
+    mut solve: impl FnMut(&[f64], &[f64], &[f64], &mut Vec<Time>),
+    mut line_scale: impl FnMut(u32) -> f64,
+) -> Vec<Time> {
     let _span = obs::trace::span_with("vlsi", || format!("batch.retention:chip{}", chip.index));
     let lines = chip.layout.lines() as usize;
     let cells = chip.layout.cells_per_line() as usize;
     let sigma_vth = chip.params.sigma_vth(chip.node).volts();
-    let solver = RetentionSolver::new(chip.node);
     let dl = dl_plane(chip);
 
     let mut rng = chip.rng_for(RETENTION_PURPOSE);
@@ -145,7 +180,7 @@ pub fn line_retentions(chip: &Chip) -> Vec<Time> {
             dvth2[bit] = sigma_vth * normals[2 * bit + 1];
         }
         let base = line * cells;
-        solver.retention_slice(&dl[base..base + cells], &dvth1, &dvth2, &mut rets);
+        solve(&dl[base..base + cells], &dvth1, &dvth2, &mut rets);
 
         // Same reduction as the scalar loop, dead-line break included.
         let mut min_ret = Time::from_us(f64::INFINITY);
@@ -171,7 +206,7 @@ pub fn line_retentions(chip: &Chip) -> Vec<Time> {
             }
             _ => normals_drawn += 2 * cells as u64,
         }
-        out.push(min_ret);
+        out.push(min_ret * line_scale(line as u32));
     }
     obs::trace::counter("batch.sample", normals_drawn as f64);
     obs::trace::counter("batch.retention", (lines * cells) as f64);
@@ -342,6 +377,25 @@ mod tests {
             let batch = line_retentions(&chip);
             let dead = batch.iter().filter(|t| **t == Time::ZERO).count();
             assert_eq!(batch, chip.line_retentions_scalar(), "chip {i} ({dead} dead)");
+        }
+    }
+
+    #[test]
+    fn tech_path_at_nominal_is_bit_identical_to_the_baseline() {
+        use crate::celltech::{CellTechKind, T3t1dTech};
+        use crate::tech::OperatingPoint;
+        let f = ChipFactory::new(TechNode::N32, VariationCorner::Severe.params(), 23);
+        let chip = f.chip(0);
+        let tech = T3t1dTech::new(TechNode::N32, OperatingPoint::nominal(TechNode::N32));
+        assert_eq!(line_retentions_with(&chip, &tech), line_retentions(&chip));
+        // Other technologies consume the streams identically, so their line
+        // counts (and hence downstream geometry) always agree.
+        for kind in CellTechKind::ALL {
+            let t = kind.build(TechNode::N32, OperatingPoint::nominal(TechNode::N32));
+            assert_eq!(
+                line_retentions_with(&chip, t.as_ref()).len(),
+                chip.layout().lines() as usize
+            );
         }
     }
 

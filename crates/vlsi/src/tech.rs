@@ -24,10 +24,11 @@ const K_OVER_Q: f64 = 8.617_333e-5;
 /// The simulation temperature used throughout the paper (80 °C).
 pub const SIM_TEMPERATURE_KELVIN: f64 = 353.15;
 
-/// Thermal voltage `kT/q` at the 80 °C simulation temperature, ≈30.4 mV.
-pub fn thermal_voltage() -> Voltage {
-    Voltage::new(K_OVER_Q * SIM_TEMPERATURE_KELVIN)
-}
+/// The paper's simulation temperature in Celsius. `SIM_TEMPERATURE_C +
+/// 273.15` equals [`SIM_TEMPERATURE_KELVIN`] bit-exactly, so operating
+/// points built at this temperature reproduce the historical pinned
+/// thermal voltage to the last bit.
+pub const SIM_TEMPERATURE_C: f64 = 80.0;
 
 /// Thermal voltage `kT/q` at an arbitrary junction temperature.
 ///
@@ -38,6 +39,94 @@ pub fn thermal_voltage_at(temp_c: f64) -> Voltage {
     let kelvin = temp_c + 273.15;
     assert!(kelvin > 0.0, "temperature below absolute zero");
     Voltage::new(K_OVER_Q * kelvin)
+}
+
+/// A DVFS operating point: the (supply, clock, temperature) triple every
+/// electrical model is evaluated at. The paper evaluates a single implicit
+/// corner — each node's nominal rail and frequency at 80 °C — which
+/// [`OperatingPoint::nominal`] reproduces exactly; sweeps build scaled
+/// points with the `with_*` constructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage the array and periphery run at.
+    pub vdd: Voltage,
+    /// Core clock frequency (sets the cycle that retention counters and
+    /// IPC→BIPS conversions use).
+    pub freq: Frequency,
+    /// Junction temperature in Celsius.
+    pub temp_c: f64,
+}
+
+impl OperatingPoint {
+    /// The paper's corner for a node: nominal rail, nominal chip frequency,
+    /// 80 °C. All historical results are pinned at this point.
+    pub fn nominal(node: TechNode) -> Self {
+        OperatingPoint {
+            vdd: node.vdd(),
+            freq: node.chip_frequency(),
+            temp_c: SIM_TEMPERATURE_C,
+        }
+    }
+
+    /// This point with a different supply voltage.
+    pub fn with_vdd(self, vdd: Voltage) -> Self {
+        OperatingPoint { vdd, ..self }
+    }
+
+    /// This point with a different clock frequency.
+    pub fn with_freq(self, freq: Frequency) -> Self {
+        OperatingPoint { freq, ..self }
+    }
+
+    /// This point with a different junction temperature (Celsius).
+    pub fn with_temp_c(self, temp_c: f64) -> Self {
+        OperatingPoint { temp_c, ..self }
+    }
+
+    /// Thermal voltage `kT/q` at this point's junction temperature
+    /// (≈30.4 mV at the 80 °C paper corner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperature is below absolute zero.
+    pub fn thermal_voltage(&self) -> Voltage {
+        thermal_voltage_at(self.temp_c)
+    }
+
+    /// One clock period at this point's frequency.
+    pub fn clock_period(&self) -> Time {
+        self.freq.period()
+    }
+
+    /// Whether this is exactly the paper's corner for `node` (the condition
+    /// under which every model must reproduce the pinned anchors bit-for-
+    /// bit).
+    pub fn is_nominal(&self, node: TechNode) -> bool {
+        *self == OperatingPoint::nominal(node)
+    }
+
+    /// A filesystem/stage-id-safe slug (`v900f3200t80`: millivolts,
+    /// megahertz, rounded Celsius) for naming swept artifacts.
+    pub fn slug(&self) -> String {
+        format!(
+            "v{}f{}t{}",
+            (self.vdd.volts() * 1000.0).round() as i64,
+            (self.freq.ghz() * 1000.0).round() as i64,
+            self.temp_c.round() as i64
+        )
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} V / {:.2} GHz / {:.0} °C",
+            self.vdd.volts(),
+            self.freq.ghz(),
+            self.temp_c
+        )
+    }
 }
 
 /// A predictive technology node from Table 1.
@@ -218,10 +307,43 @@ mod tests {
 
     #[test]
     fn thermal_voltage_at_80c() {
-        let vt = thermal_voltage();
+        // The 80 °C paper anchor: ≈30.43 mV, and the Celsius path must
+        // reproduce the pinned Kelvin constant bit-for-bit so operating-
+        // point-threaded models stay golden at the nominal corner.
+        let vt = thermal_voltage_at(SIM_TEMPERATURE_C);
         assert!((vt.mv() - 30.43).abs() < 0.05, "got {} mV", vt.mv());
-        assert!((thermal_voltage_at(80.0).mv() - vt.mv()).abs() < 1e-9);
+        assert_eq!(SIM_TEMPERATURE_C + 273.15, SIM_TEMPERATURE_KELVIN);
+        assert_eq!(vt.volts(), K_OVER_Q * SIM_TEMPERATURE_KELVIN);
+        assert_eq!(
+            OperatingPoint::nominal(TechNode::N32).thermal_voltage().volts(),
+            vt.volts()
+        );
         assert!(thermal_voltage_at(25.0).mv() < vt.mv());
+    }
+
+    #[test]
+    fn nominal_operating_point_matches_the_node() {
+        for node in TechNode::ALL {
+            let op = OperatingPoint::nominal(node);
+            assert_eq!(op.vdd, node.vdd());
+            assert_eq!(op.freq.value(), node.chip_frequency().value());
+            assert_eq!(op.temp_c, SIM_TEMPERATURE_C);
+            assert!(op.is_nominal(node));
+            assert_eq!(op.clock_period().value(), node.clock_period().value());
+            assert!(!op.with_vdd(Voltage::new(0.9)).is_nominal(node));
+            assert!(!op.with_temp_c(60.0).is_nominal(node));
+        }
+    }
+
+    #[test]
+    fn operating_point_slug_and_display() {
+        let op = OperatingPoint::nominal(TechNode::N32);
+        assert_eq!(op.slug(), "v1000f4300t80");
+        assert_eq!(op.to_string(), "1.00 V / 4.30 GHz / 80 °C");
+        let scaled = op
+            .with_vdd(Voltage::new(0.85))
+            .with_freq(Frequency::from_ghz(3.2));
+        assert_eq!(scaled.slug(), "v850f3200t80");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! the calibration constants in [`crate::calib`].
 
 use crate::calib;
-use crate::tech::{thermal_voltage, TechNode};
+use crate::tech::{OperatingPoint, TechNode};
 use crate::units::{Current, Voltage};
 use crate::variation::DeviceDeviation;
 
@@ -67,7 +67,13 @@ pub fn drive_current(node: TechNode, dev: DeviceDeviation) -> Current {
 /// with a DIBL-style exponential channel-length sensitivity
 /// (`λ =` [`calib::lambda_dibl`]): shorter channels leak exponentially more.
 pub fn leakage_ratio(node: TechNode, dev: DeviceDeviation) -> f64 {
-    let nvt = N_SUBTHRESHOLD * thermal_voltage().volts();
+    leakage_ratio_at(node, OperatingPoint::nominal(node), dev)
+}
+
+/// [`leakage_ratio`] at an explicit operating point: the subthreshold slope
+/// softens with the junction temperature through `n·kT/q`.
+pub fn leakage_ratio_at(node: TechNode, op: OperatingPoint, dev: DeviceDeviation) -> f64 {
+    let nvt = N_SUBTHRESHOLD * op.thermal_voltage().volts();
     let dvth = dev.vth_total(node).volts();
     let x = -dvth / nvt - calib::lambda_dibl(node) * dev.dl_frac;
     x.clamp(-30.0, 30.0).exp()
@@ -137,7 +143,8 @@ mod tests {
 
     #[test]
     fn leakage_is_exponential_in_vth() {
-        let nvt_mv = N_SUBTHRESHOLD * thermal_voltage().mv();
+        let nvt_mv =
+            N_SUBTHRESHOLD * OperatingPoint::nominal(TechNode::N32).thermal_voltage().mv();
         let r = leakage_ratio(TechNode::N32, dev(0.0, -nvt_mv));
         // One n·vT lower Vth → e× more leakage.
         assert!((r - std::f64::consts::E).abs() < 0.01, "r={r}");
